@@ -1,0 +1,63 @@
+// Figure 4 — high-contention SPECjbb2000 (paper Section 6.3).
+//
+// Every thread serves TPC-C-style requests against a SINGLE warehouse.
+// Series (paper): "Java" — the original fine-grained synchronized version,
+// limited by the shared-warehouse locks; "Atomos Baseline" — each of the
+// five operations as one coarse transaction, worst (counter + collection
+// internals conflicts); "Atomos Open" — open-nested counters recover much
+// of the loss; "Atomos Transactional" — + TransactionalMap/SortedMap around
+// historyTable / orderTable / newOrderTable, the best transactional result.
+#include "bench/testmap_common.h"
+#include "jbb/engine.h"
+
+namespace {
+
+harness::Series jbb_series(const std::string& name, jbb::Flavor flavor, int total_ops) {
+  const sim::Mode mode = flavor == jbb::Flavor::kJava ? sim::Mode::kLock : sim::Mode::kTcc;
+  return harness::Series{
+      name, mode, [name, flavor, mode, total_ops](int cpus, harness::RunResult& out) {
+        jbb::JbbConfig jc;
+        jc.flavor = flavor;
+        jc.districts = 10;
+        jc.items = 2000;  // TPC-C-like catalogue: stock collisions are rare
+        jc.customers_per_district = 60;
+        jc.think_cycles = 1200;
+        sim::Engine eng(bench::make_cfg(mode, cpus));
+        atomos::Runtime rt(eng);
+        jbb::Engine engine(jc);
+        const int per_cpu = total_ops / cpus;
+        std::vector<jbb::OpCounts> counts(static_cast<std::size_t>(cpus));
+        for (int c = 0; c < cpus; ++c) {
+          eng.spawn([&, c] {
+            std::uint64_t rng = 4242 + static_cast<std::uint64_t>(c) * 6151;
+            for (int i = 0; i < per_cpu; ++i) {
+              const int d = static_cast<int>((rng >> 40) % 10);
+              engine.run_mixed_op(d, rng, counts[static_cast<std::size_t>(c)]);
+            }
+          });
+        }
+        eng.run();
+        std::string why;
+        if (!engine.check_consistency(&why)) {
+          std::fprintf(stderr, "CONSISTENCY FAILURE [%s cpus=%d]: %s\n", name.c_str(),
+                       cpus, why.c_str());
+        }
+        bench::collect_stats(eng, out);
+      }};
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kTotalOps = 1600;
+  std::vector<harness::Series> series;
+  series.push_back(jbb_series("Java", jbb::Flavor::kJava, kTotalOps));
+  series.push_back(jbb_series("Atomos Baseline", jbb::Flavor::kAtomosBaseline, kTotalOps));
+  series.push_back(jbb_series("Atomos Open", jbb::Flavor::kAtomosOpen, kTotalOps));
+  series.push_back(
+      jbb_series("Atomos Transactional", jbb::Flavor::kAtomosTransactional, kTotalOps));
+
+  harness::run_figure("Figure 4: SPECjbb2000, high-contention single-warehouse configuration",
+                      series, bench::paper_cpu_counts(), "fig4_specjbb.csv");
+  return 0;
+}

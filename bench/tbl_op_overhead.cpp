@@ -1,0 +1,144 @@
+// Per-operation overhead table (google-benchmark).
+//
+// Measures the HOST cost of the building blocks — raw collections outside a
+// simulation, the same collections under single-CPU simulation, and the
+// transactional wrappers — and reports the SIMULATED cycles per operation
+// as a counter.  This quantifies the constant-factor price of semantic
+// concurrency control that the figure benchmarks amortize.
+#include <benchmark/benchmark.h>
+
+#include "core/txmap.h"
+#include "core/txqueue.h"
+#include "core/txsortedmap.h"
+#include "jstd/hashmap.h"
+#include "jstd/linkedqueue.h"
+#include "jstd/treemap.h"
+#include "tm/runtime.h"
+
+namespace {
+
+sim::Config one_cpu_tcc() {
+  sim::Config c;
+  c.num_cpus = 1;
+  c.mode = sim::Mode::kTcc;
+  return c;
+}
+
+// ---- raw host-speed collections (no simulation active) ----
+
+void BM_RawHashMapPutGet(benchmark::State& state) {
+  jstd::HashMap<long, long> map(1024);
+  long k = 0;
+  for (auto _ : state) {
+    map.put(k % 512, k);
+    benchmark::DoNotOptimize(map.get((k * 7) % 512));
+    ++k;
+  }
+}
+BENCHMARK(BM_RawHashMapPutGet);
+
+void BM_RawTreeMapPutGet(benchmark::State& state) {
+  jstd::TreeMap<long, long> map;
+  long k = 0;
+  for (auto _ : state) {
+    map.put(k % 512, k);
+    benchmark::DoNotOptimize(map.get((k * 7) % 512));
+    ++k;
+  }
+}
+BENCHMARK(BM_RawTreeMapPutGet);
+
+void BM_RawLinkedQueue(benchmark::State& state) {
+  jstd::LinkedQueue<long> q;
+  long k = 0;
+  for (auto _ : state) {
+    q.put(k++);
+    benchmark::DoNotOptimize(q.poll());
+  }
+}
+BENCHMARK(BM_RawLinkedQueue);
+
+// ---- simulated, one CPU: raw vs wrapped (simulated cycles as counters) ----
+
+template <class MakeMap>
+void run_simulated_map_ops(benchmark::State& state, MakeMap make_map) {
+  // One simulation per measurement batch; each "iteration" is one
+  // transactional (put+get) pair on virtual CPU 0.
+  std::uint64_t total_sim_cycles = 0;
+  std::uint64_t total_ops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine eng(one_cpu_tcc());
+    atomos::Runtime rt(eng);
+    auto map = make_map();
+    for (long k = 0; k < 256; ++k) map->put(k, k);
+    constexpr int kOps = 256;
+    state.ResumeTiming();
+    eng.spawn([&] {
+      for (long k = 0; k < kOps; ++k) {
+        atomos::atomically([&] {
+          map->put(k % 512, k);
+          benchmark::DoNotOptimize(map->get((k * 7) % 512));
+        });
+      }
+    });
+    eng.run();
+    total_sim_cycles += eng.elapsed_cycles();
+    total_ops += kOps;
+  }
+  state.counters["sim_cycles_per_op"] =
+      benchmark::Counter(static_cast<double>(total_sim_cycles) /
+                         static_cast<double>(total_ops == 0 ? 1 : total_ops));
+}
+
+void BM_SimulatedHashMapTxn(benchmark::State& state) {
+  run_simulated_map_ops(state, [] {
+    return std::unique_ptr<jstd::Map<long, long>>(
+        std::make_unique<jstd::HashMap<long, long>>(1024));
+  });
+}
+BENCHMARK(BM_SimulatedHashMapTxn)->Unit(benchmark::kMicrosecond);
+
+void BM_SimulatedTransactionalMapTxn(benchmark::State& state) {
+  run_simulated_map_ops(state, [] {
+    return std::unique_ptr<jstd::Map<long, long>>(
+        std::make_unique<tcc::TransactionalMap<long, long>>(
+            std::make_unique<jstd::HashMap<long, long>>(1024)));
+  });
+}
+BENCHMARK(BM_SimulatedTransactionalMapTxn)->Unit(benchmark::kMicrosecond);
+
+void BM_SimulatedTreeMapTxn(benchmark::State& state) {
+  run_simulated_map_ops(state, [] {
+    return std::unique_ptr<jstd::Map<long, long>>(std::make_unique<jstd::TreeMap<long, long>>());
+  });
+}
+BENCHMARK(BM_SimulatedTreeMapTxn)->Unit(benchmark::kMicrosecond);
+
+void BM_SimulatedTransactionalSortedMapTxn(benchmark::State& state) {
+  run_simulated_map_ops(state, [] {
+    return std::unique_ptr<jstd::Map<long, long>>(
+        std::make_unique<tcc::TransactionalSortedMap<long, long>>(
+            std::make_unique<jstd::TreeMap<long, long>>()));
+  });
+}
+BENCHMARK(BM_SimulatedTransactionalSortedMapTxn)->Unit(benchmark::kMicrosecond);
+
+// ---- fiber / engine primitives ----
+
+void BM_FiberRoundTrip(benchmark::State& state) {
+  // One resume+yield round trip per iteration (two context switches), with
+  // a bounded body so the fiber finishes cleanly.
+  const auto n = static_cast<std::size_t>(state.max_iterations) + 1;
+  sim::Fiber f([n] {
+    for (std::size_t i = 0; i < n; ++i) sim::Fiber::yield();
+  });
+  for (auto _ : state) f.resume();
+  while (!f.finished()) f.resume();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FiberRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Shared machinery for the TestMap-family benchmarks (paper Section 6.2).
+//
+// TestMap performs a mixture of operations against ONE shared Map from
+// every CPU: 80% lookups, 10% insertions, 10% removals, each surrounded by
+// computation.  In the Atomos series the whole (computation + operation)
+// body is a single long transaction; in the Java series a mutex is held
+// only around the operation itself.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/txmap.h"
+#include "core/txsortedmap.h"
+#include "harness/speedup.h"
+#include "jstd/hashmap.h"
+#include "jstd/treemap.h"
+#include "tm/mutex.h"
+#include "tm/runtime.h"
+
+namespace bench {
+
+struct TestMapParams {
+  long key_space = 512;
+  long prepopulate = 256;
+  int total_ops = 3200;            ///< fixed total work, divided over CPUs
+  std::uint64_t think_cycles = 4000;  ///< computation surrounding each op
+  std::uint64_t seed = 12345;
+};
+
+inline std::uint64_t rnd(std::uint64_t& s) {
+  s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+  return s >> 33;
+}
+
+/// One 80/10/10 operation against `map`.
+template <class MapT>
+void testmap_op(MapT& map, long key_space, std::uint64_t& s) {
+  const long key = static_cast<long>(rnd(s) % static_cast<std::uint64_t>(key_space));
+  const std::uint64_t roll = rnd(s) % 10;
+  if (roll < 8) {
+    (void)map.get(key);
+  } else if (roll < 9) {
+    (void)map.put(key, key);
+  } else {
+    (void)map.remove(key);
+  }
+}
+
+/// Fills in the stats fields of a RunResult from a finished simulation.
+inline void collect_stats(sim::Engine& eng, harness::RunResult& out) {
+  out.cycles = eng.elapsed_cycles();
+  out.violations = eng.stats().total(&sim::CpuStats::violations);
+  out.semantic = eng.stats().total(&sim::CpuStats::semantic_violations);
+  out.lost_cycles = eng.stats().total(&sim::CpuStats::lost_cycles);
+  out.commits = eng.stats().total(&sim::CpuStats::commits);
+}
+
+inline sim::Config make_cfg(sim::Mode mode, int cpus) {
+  sim::Config c;
+  c.mode = mode;
+  c.num_cpus = cpus;
+  return c;
+}
+
+/// "Java <Map>": lock-mode run, mutex held only around each operation.
+template <class MakeMap>
+harness::Series java_series(const std::string& name, const TestMapParams& p, MakeMap make_map) {
+  return harness::Series{
+      name, sim::Mode::kLock, [p, make_map](int cpus, harness::RunResult& out) {
+        sim::Engine eng(make_cfg(sim::Mode::kLock, cpus));
+        atomos::Runtime rt(eng);
+        auto map = make_map();
+        for (long k = 0; k < p.prepopulate; ++k) map->put(k * 2 % p.key_space, k);
+        atomos::Mutex mu;
+        const int per_cpu = p.total_ops / cpus;
+        for (int c = 0; c < cpus; ++c) {
+          eng.spawn([&, c] {
+            std::uint64_t s = p.seed + static_cast<std::uint64_t>(c) * 7919;
+            for (int i = 0; i < per_cpu; ++i) {
+              atomos::Runtime::current().work(p.think_cycles / 2);
+              {
+                atomos::LockGuard g(mu);  // short critical section
+                testmap_op(*map, p.key_space, s);
+              }
+              atomos::Runtime::current().work(p.think_cycles / 2);
+            }
+          });
+        }
+        eng.run();
+        collect_stats(eng, out);
+      }};
+}
+
+/// "Atomos <Map>": the whole (compute, op, compute) body is one transaction.
+template <class MakeMap>
+harness::Series atomos_series(const std::string& name, const TestMapParams& p, MakeMap make_map) {
+  return harness::Series{
+      name, sim::Mode::kTcc, [p, make_map](int cpus, harness::RunResult& out) {
+        sim::Engine eng(make_cfg(sim::Mode::kTcc, cpus));
+        atomos::Runtime rt(eng);
+        auto map = make_map();
+        for (long k = 0; k < p.prepopulate; ++k) map->put(k * 2 % p.key_space, k);
+        const int per_cpu = p.total_ops / cpus;
+        for (int c = 0; c < cpus; ++c) {
+          eng.spawn([&, c] {
+            std::uint64_t s = p.seed + static_cast<std::uint64_t>(c) * 7919;
+            for (int i = 0; i < per_cpu; ++i) {
+              std::uint64_t body_seed = s;  // retries replay the same op
+              atomos::atomically([&] {
+                std::uint64_t bs = body_seed;
+                atomos::work(p.think_cycles / 2);
+                testmap_op(*map, p.key_space, bs);
+                atomos::work(p.think_cycles / 2);
+              });
+              // advance the thread RNG past the consumed draws
+              rnd(s);
+              rnd(s);
+            }
+          });
+        }
+        eng.run();
+        collect_stats(eng, out);
+      }};
+}
+
+inline std::vector<int> paper_cpu_counts() { return {1, 2, 4, 8, 16, 32}; }
+
+}  // namespace bench

@@ -1,0 +1,61 @@
+// Mini SPECjbb2000-style run: the paper's Section 6.3 workload end to end.
+//
+// Drives the single-warehouse TPC-C-style engine in the "Atomos
+// Transactional" configuration (open-nested counters + transactional
+// collection classes around the shared tables), prints the operation mix
+// and validates the TPC-C consistency invariants at the end.
+#include <cstdio>
+
+#include "jbb/engine.h"
+
+int main() {
+  constexpr int kCpus = 8;
+  sim::Config cfg;
+  cfg.num_cpus = kCpus;
+  cfg.mode = sim::Mode::kTcc;
+  sim::Engine sim_engine(cfg);
+  atomos::Runtime runtime(sim_engine);
+
+  jbb::JbbConfig jc;
+  jc.flavor = jbb::Flavor::kAtomosTransactional;
+  jc.districts = 10;
+  jc.items = 500;
+  jc.customers_per_district = 30;
+  jbb::Engine engine(jc);
+
+  std::vector<jbb::OpCounts> counts(kCpus);
+  for (int cpu = 0; cpu < kCpus; ++cpu) {
+    sim_engine.spawn([&, cpu] {
+      std::uint64_t rng = 99 + static_cast<std::uint64_t>(cpu) * 271;
+      for (int i = 0; i < 100; ++i) {
+        const int district = static_cast<int>((rng >> 40) % 10);
+        engine.run_mixed_op(district, rng, counts[static_cast<std::size_t>(cpu)]);
+      }
+    });
+  }
+  sim_engine.run();
+
+  jbb::OpCounts total;
+  for (const auto& c : counts) {
+    total.new_order += c.new_order;
+    total.payment += c.payment;
+    total.order_status += c.order_status;
+    total.delivery += c.delivery;
+    total.stock_level += c.stock_level;
+  }
+  std::printf("operations        : %ld (NewOrder %ld, Payment %ld, OrderStatus %ld, "
+              "Delivery %ld, StockLevel %ld)\n",
+              total.total(), total.new_order, total.payment, total.order_status,
+              total.delivery, total.stock_level);
+  std::printf("orders committed  : %ld\n", engine.committed_order_count());
+  std::printf("pending new-orders: %ld\n", engine.committed_new_order_count());
+  std::printf("warehouse YTD     : %ld cents\n", engine.warehouse().ytd.unsafe_peek());
+  std::printf("simulated cycles  : %llu\n",
+              static_cast<unsigned long long>(sim_engine.elapsed_cycles()));
+
+  std::string why;
+  const bool ok = engine.check_consistency(&why);
+  std::printf("consistency       : %s%s%s\n", ok ? "OK" : "FAILED", ok ? "" : " — ",
+              ok ? "" : why.c_str());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,192 @@
+// Semantic lock tables for transactional collection classes.
+//
+// These are the "shared transaction state" rows of the paper's Tables 3/6/9
+// (key2lockers, sizeLockers, rangeLockers, first/lastLockers, emptyLockers).
+// A lock is a *read intent*: owner = the TxnId of the top-level transaction
+// that observed the abstract state.  Writers do commit-time conflict
+// detection by violating every owner whose observation their update
+// invalidates (optimistic semantic concurrency control); they never block.
+//
+// In the paper these tables live in transactional memory and are updated by
+// open-nested transactions; here they are host-side structures whose
+// operations are virtually atomic (the simulator interleaves only at timed
+// events) and charged sim::Config::sem_op_cycles each — the documented
+// DESIGN.md idealization.  Their *semantics* — survive parent rollback, be
+// compensated by abort handlers, be checked at commit — are exact.
+#pragma once
+
+#include <algorithm>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "tm/runtime.h"
+
+namespace tcc {
+
+/// Charges the configured cost of one semantic-lock / store-buffer op.
+inline void charge_sem_op(std::size_t n = 1) {
+  if (atomos::Runtime::active() && sim::Engine::in_worker()) {
+    auto& rt = atomos::Runtime::current();
+    rt.work(n * rt.engine().config().sem_op_cycles);
+  }
+}
+
+/// A set of top-level transactions holding one semantic read lock.
+class LockerSet {
+ public:
+  /// Adds `owner` (idempotent).
+  void add(const atomos::TxnId& owner) {
+    if (!contains(owner)) owners_.push_back(owner);
+  }
+
+  /// Removes `owner` if present.
+  void remove(const atomos::TxnId& owner) {
+    owners_.erase(std::remove(owners_.begin(), owners_.end(), owner), owners_.end());
+  }
+
+  bool contains(const atomos::TxnId& owner) const {
+    return std::find(owners_.begin(), owners_.end(), owner) != owners_.end();
+  }
+
+  bool empty() const { return owners_.empty(); }
+  std::size_t size() const { return owners_.size(); }
+
+  /// Violates every owner other than `self`; stale owners (already finished
+  /// incarnations) are pruned.  Returns the number of transactions doomed.
+  int violate_all_except(const atomos::TxnId& self) {
+    int doomed = 0;
+    auto it = owners_.begin();
+    while (it != owners_.end()) {
+      if (*it == self) {
+        ++it;
+        continue;
+      }
+      if (atomos::Runtime::current().violate(*it)) {
+        ++doomed;
+        ++it;
+      } else {
+        it = owners_.erase(it);  // stale lock: owner already gone
+      }
+    }
+    return doomed;
+  }
+
+ private:
+  std::vector<atomos::TxnId> owners_;  // small in practice; linear ops
+};
+
+/// key -> LockerSet table (the paper's key2lockers).
+template <class K, class Hash = std::hash<K>, class Eq = std::equal_to<K>>
+class KeyLockTable {
+ public:
+  void lock(const K& key, const atomos::TxnId& owner) { table_[key].add(owner); }
+
+  void unlock(const K& key, const atomos::TxnId& owner) {
+    auto it = table_.find(key);
+    if (it == table_.end()) return;
+    it->second.remove(owner);
+    if (it->second.empty()) table_.erase(it);
+  }
+
+  /// Commit-time write conflict on `key`: dooms every other reader of it.
+  int violate_holders(const K& key, const atomos::TxnId& self) {
+    auto it = table_.find(key);
+    if (it == table_.end()) return 0;
+    const int doomed = it->second.violate_all_except(self);
+    if (it->second.empty()) table_.erase(it);
+    return doomed;
+  }
+
+  bool is_locked_by(const K& key, const atomos::TxnId& owner) const {
+    auto it = table_.find(key);
+    return it != table_.end() && it->second.contains(owner);
+  }
+
+  std::size_t locked_key_count() const { return table_.size(); }
+
+ private:
+  std::unordered_map<K, LockerSet, Hash, Eq> table_;
+};
+
+/// Key-range lock table (the paper's rangeLockers): a plain scanned set —
+/// Section 3.2 explicitly prefers this over an interval tree for the
+/// expected small population.  Bounds are [from, to) by default; a range
+/// may instead be closed on the right (`to_closed`), which is how iterators
+/// grow their lock to cover exactly the keys returned so far.  nullopt is
+/// an open end.
+template <class K, class Compare = std::less<K>>
+class RangeLockTable {
+ public:
+  explicit RangeLockTable(Compare cmp = Compare()) : cmp_(cmp) {}
+
+  struct Range {
+    std::optional<K> from;  // inclusive
+    std::optional<K> to;    // exclusive unless to_closed
+    bool to_closed = false;
+    atomos::TxnId owner;
+  };
+
+  using Handle = typename std::list<Range>::iterator;
+
+  /// Adds a range lock; adjacent/duplicate ranges are not coalesced.  The
+  /// returned handle stays valid for the owner's lifetime (it may be used
+  /// to extend the range as an iterator advances).
+  Handle lock(const std::optional<K>& from, const std::optional<K>& to,
+              const atomos::TxnId& owner, bool to_closed = false) {
+    ranges_.push_back(Range{from, to, to_closed, owner});
+    return std::prev(ranges_.end());
+  }
+
+  /// Grows a locked range's right end (iterator progress).
+  void extend(Handle h, const std::optional<K>& to, bool to_closed) {
+    h->to = to;
+    h->to_closed = to_closed;
+  }
+
+  /// Removes every range owned by `owner` (commit/abort cleanup).
+  void unlock_all(const atomos::TxnId& owner) {
+    ranges_.remove_if([&](const Range& r) { return r.owner == owner; });
+  }
+
+  /// Commit-time conflict: `key` is being added/removed — every other owner
+  /// whose locked range contains `key` is doomed.
+  int violate_containing(const K& key, const atomos::TxnId& self) {
+    int doomed = 0;
+    auto it = ranges_.begin();
+    while (it != ranges_.end()) {
+      if (it->owner == self || !contains(*it, key)) {
+        ++it;
+        continue;
+      }
+      if (atomos::Runtime::current().violate(it->owner)) {
+        ++doomed;
+        ++it;
+      } else {
+        it = ranges_.erase(it);  // stale
+      }
+    }
+    return doomed;
+  }
+
+  std::size_t size() const { return ranges_.size(); }
+
+ private:
+  bool contains(const Range& r, const K& key) const {
+    if (r.from.has_value() && cmp_(key, *r.from)) return false;  // key < from
+    if (r.to.has_value()) {
+      if (r.to_closed) {
+        if (cmp_(*r.to, key)) return false;  // key > to
+      } else {
+        if (!cmp_(key, *r.to)) return false;  // key >= to
+      }
+    }
+    return true;
+  }
+
+  Compare cmp_;
+  std::list<Range> ranges_;
+};
+
+}  // namespace tcc

@@ -1,0 +1,473 @@
+// tcc::TransactionalMap — the paper's Section 3.1 contribution.
+//
+// Wraps any jstd::Map so that long-running transactions can use it without
+// memory-level conflicts on its internals (size field, bucket chains):
+//
+//  * read operations (get/containsKey/size/iteration) run in OPEN-NESTED
+//    transactions that take semantic locks (Table 2) and then discard their
+//    memory dependencies;
+//  * write operations (put/remove) buffer their effect in a thread-local
+//    store buffer (Table 3) plus a size delta, taking a key read-lock
+//    because they return the old value;
+//  * ONE commit handler per top-level transaction — registered on first use
+//    — performs commit-time semantic conflict detection (violating readers
+//    whose locks cover the written keys / the size, Table 2's "Write
+//    Conflict" column), applies the buffered writes to the underlying map,
+//    releases the transaction's locks and clears the buffers;
+//  * ONE abort handler compensates: releases locks, clears buffers.
+//
+// Section 5.1 extensions included: isEmpty as a primitive with its own
+// zero-crossing lock; put_blind/remove_blind variants that take no key
+// *read* lock (so blind writers of one key commute); and an opt-in
+// pessimistic detection mode that additionally dooms conflicting readers at
+// operation time.
+//
+// Scope note (matches the paper): the collection's buffered semantic state
+// is scoped to the *top-level* transaction.  Rolling back a closed-nested
+// user frame does not undo collection operations performed inside it — the
+// paper's store buffers are updated by open-nested transactions and have
+// the same property.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/lockers.h"
+#include "jstd/interfaces.h"
+#include "tm/runtime.h"
+
+namespace tcc {
+
+/// When write/read semantic conflicts are detected (paper Section 5.1).
+enum class Detection {
+  kOptimistic,   ///< commit-time only (the paper's choice)
+  kPessimistic,  ///< additionally doom conflicting readers at operation time
+};
+
+/// `Iface` is the jstd interface this wrapper presents (jstd::Map by
+/// default; TransactionalSortedMap instantiates with jstd::SortedMap so the
+/// sorted wrapper is itself a drop-in SortedMap).
+template <class K, class V, class Hash = std::hash<K>, class Eq = std::equal_to<K>,
+          class Iface = jstd::Map<K, V>>
+class TransactionalMap : public Iface {
+ public:
+  /// Takes ownership of the wrapped implementation.  The wrapper offers the
+  /// same interface, so it is a drop-in replacement for `inner`.
+  explicit TransactionalMap(std::unique_ptr<jstd::Map<K, V>> inner,
+                            Detection detection = Detection::kOptimistic)
+      : inner_(std::move(inner)), detection_(detection) {}
+
+  // ---- jstd::Map interface (Table 1/2 semantics) ----
+
+  std::optional<V> get(const K& key) const override {
+    if (!transactional()) return inner_->get(key);
+    if (!in_txn()) return wrap([&] { return get(key); });
+    LocalState& ls = local();
+    ensure_registered(ls);
+    if (auto hit = buffered_lookup(ls, key)) return *hit;
+    return atomos::open_atomically([&] {
+      charge_sem_op();
+      lock_key(ls, key);
+      return inner_->get(key);
+    });
+  }
+
+  bool contains_key(const K& key) const override {
+    if (!transactional()) return inner_->contains_key(key);
+    return get(key).has_value();
+  }
+
+  std::optional<V> put(const K& key, const V& value) override {
+    if (!transactional()) return inner_->put(key, value);
+    if (!in_txn()) return wrap([&] { return put(key, value); });
+    LocalState& ls = local();
+    ensure_registered(ls);
+    std::optional<V> old = observed_value(ls, key);  // takes the key read-lock
+    Entry& e = ls.store[key];
+    if (!e.touched) e.present_before = old.has_value();  // committed-map fact
+    e.touched = true;
+    e.kind = Entry::kPut;
+    e.value = value;
+    if (detection_ == Detection::kPessimistic) eager_detect(ls, key);
+    return old;
+  }
+
+  std::optional<V> remove(const K& key) override {
+    if (!transactional()) return inner_->remove(key);
+    if (!in_txn()) return wrap([&] { return remove(key); });
+    LocalState& ls = local();
+    ensure_registered(ls);
+    std::optional<V> old = observed_value(ls, key);
+    Entry& e = ls.store[key];
+    if (!e.touched) e.present_before = old.has_value();
+    e.touched = true;
+    e.kind = Entry::kRemove;
+    if (detection_ == Detection::kPessimistic) eager_detect(ls, key);
+    return old;
+  }
+
+  long size() const override {
+    if (!transactional()) return inner_->size();
+    if (!in_txn()) return wrap([&] { return size(); });
+    LocalState& ls = local();
+    ensure_registered(ls);
+    resolve_all_blind(ls);
+    return atomos::open_atomically([&] {
+      charge_sem_op();
+      size_lockers_.add(ls.id);
+      ls.size_locked = true;
+      return inner_->size() + delta(ls);
+    });
+  }
+
+  /// Section 5.1: isEmpty as a PRIMITIVE with a dedicated lock that is only
+  /// violated when the size crosses zero — so `if (!m.isEmpty()) m.put(..)`
+  /// transactions commute, unlike the size()-derived version.
+  bool is_empty() const override {
+    if (!transactional()) return inner_->is_empty();
+    if (!in_txn()) return wrap([&] { return is_empty(); });
+    LocalState& ls = local();
+    ensure_registered(ls);
+    resolve_all_blind(ls);
+    return atomos::open_atomically([&] {
+      charge_sem_op();
+      empty_lockers_.add(ls.id);
+      ls.empty_locked = true;
+      return inner_->size() + delta(ls) == 0;
+    });
+  }
+
+  std::unique_ptr<jstd::MapIterator<K, V>> iterator() const override {
+    if (!transactional()) return inner_->iterator();
+    LocalState& ls = local();
+    ensure_registered(ls);
+    return std::make_unique<Iter>(this, &ls);
+  }
+
+  // ---- Section 5.1 blind variants ----
+
+  /// put that does NOT return (or read) the old value: takes no key
+  /// read-lock, so blind writers of the same key never conflict with each
+  /// other — the paper's map.put("LastModified", now) example.
+  void put_blind(const K& key, const V& value) {
+    if (!transactional()) {
+      inner_->put(key, value);
+      return;
+    }
+    if (!in_txn()) {
+      wrap([&] {
+        put_blind(key, value);
+        return 0;
+      });
+      return;
+    }
+    LocalState& ls = local();
+    ensure_registered(ls);
+    Entry& e = ls.store[key];
+    e.touched = true;
+    e.kind = Entry::kPut;
+    e.value = value;
+    charge_sem_op();
+    if (detection_ == Detection::kPessimistic) eager_detect(ls, key);
+  }
+
+  /// remove that does not read/return the old value (no key read-lock).
+  void remove_blind(const K& key) {
+    if (!transactional()) {
+      inner_->remove(key);
+      return;
+    }
+    if (!in_txn()) {
+      wrap([&] {
+        remove_blind(key);
+        return 0;
+      });
+      return;
+    }
+    LocalState& ls = local();
+    ensure_registered(ls);
+    Entry& e = ls.store[key];
+    e.touched = true;
+    e.kind = Entry::kRemove;
+    charge_sem_op();
+    if (detection_ == Detection::kPessimistic) eager_detect(ls, key);
+  }
+
+  // ---- introspection (tests / TAPE-style analysis) ----
+
+  const jstd::Map<K, V>& inner() const { return *inner_; }
+  std::size_t locked_key_count() const { return key_lockers_.locked_key_count(); }
+  std::size_t size_locker_count() const { return size_lockers_.size(); }
+  std::size_t empty_locker_count() const { return empty_lockers_.size(); }
+
+ protected:
+  // One buffered effect per key (later operations overwrite the kind/value;
+  // present_before is the committed-map fact observed under the key lock).
+  struct Entry {
+    enum Kind { kPut, kRemove } kind = kPut;
+    V value{};
+    std::optional<bool> present_before;  // nullopt until observed (blind ops)
+    bool touched = false;
+  };
+
+  struct LocalState {
+    atomos::TxnId id{};
+    bool registered = false;
+    bool size_locked = false;
+    bool empty_locked = false;
+    std::unordered_map<K, Entry, Hash, Eq> store;
+    std::vector<K> key_locks;
+
+    void clear() {
+      store.clear();
+      key_locks.clear();
+      registered = false;
+      size_locked = false;
+      empty_locked = false;
+      id = atomos::TxnId{};
+    }
+  };
+
+  static bool transactional() {
+    return atomos::Runtime::active() && sim::Engine::in_worker() &&
+           atomos::Runtime::current().mode() == sim::Mode::kTcc;
+  }
+
+  static bool in_txn() { return atomos::Runtime::current().in_txn(); }
+
+  /// Runs a single collection op outside any transaction as its own
+  /// top-level transaction.
+  template <class F>
+  auto wrap(F&& fn) const {
+    return atomos::Runtime::current().atomically(std::forward<F>(fn));
+  }
+
+  LocalState& local() const {
+    auto& rt = atomos::Runtime::current();
+    const auto cpu = static_cast<std::size_t>(rt.engine().cpu_id());
+    if (locals_.size() <= cpu) locals_.resize(static_cast<std::size_t>(rt.engine().config().num_cpus));
+    LocalState& ls = locals_[cpu];
+    const atomos::TxnId cur = rt.self_id();
+    if (!(ls.id == cur)) {
+      assert(ls.store.empty() && ls.key_locks.empty() && "stale uncompensated state");
+      ls.clear();
+      ls.id = cur;
+    }
+    return ls;
+  }
+
+  void ensure_registered(LocalState& ls) const {
+    if (ls.registered) return;
+    ls.registered = true;
+    auto& rt = atomos::Runtime::current();
+    const int cpu = rt.engine().cpu_id();
+    auto* self = const_cast<TransactionalMap*>(this);
+    // Read-only transactions (empty store buffer) only release locks at
+    // commit: pure cleanup, no token needed.
+    rt.on_top_commit([self, cpu] { self->commit_handler(cpu); },
+                     [self, cpu] {
+                       return !self->locals_[static_cast<std::size_t>(cpu)].store.empty();
+                     });
+    rt.on_top_abort([self, cpu] { self->abort_handler(cpu); });
+  }
+
+  void lock_key(LocalState& ls, const K& key) const {
+    if (key_lockers_.is_locked_by(key, ls.id)) return;
+    key_lockers_.lock(key, ls.id);
+    ls.key_locks.push_back(key);
+  }
+
+  /// Buffered value for `key`, if this transaction already wrote it.
+  std::optional<std::optional<V>> buffered_lookup(LocalState& ls, const K& key) const {
+    auto it = ls.store.find(key);
+    if (it == ls.store.end() || !it->second.touched) return std::nullopt;
+    if (it->second.kind == Entry::kPut) return std::optional<V>(it->second.value);
+    return std::optional<V>(std::nullopt);  // buffered remove
+  }
+
+  /// The value this transaction observes for `key` (buffer, else locked
+  /// read of the committed map).
+  std::optional<V> observed_value(LocalState& ls, const K& key) const {
+    if (auto hit = buffered_lookup(ls, key)) return *hit;
+    return atomos::open_atomically([&] {
+      charge_sem_op();
+      lock_key(ls, key);
+      return inner_->get(key);
+    });
+  }
+
+  /// Committed-map presence of `key`, observed under the key lock (stable
+  /// until our commit: any writer of the key would violate us first).
+  bool resolve_presence(LocalState& ls, const K& key) const {
+    return atomos::open_atomically([&] {
+      charge_sem_op();
+      lock_key(ls, key);
+      return inner_->contains_key(key);
+    });
+  }
+
+  /// Fills in present_before for blind entries (needed before size()).
+  void resolve_all_blind(LocalState& ls) const {
+    for (auto& [key, e] : ls.store) {
+      if (!e.present_before.has_value()) e.present_before = resolve_presence(ls, key);
+    }
+  }
+
+  /// Net size change of the buffered operations (all presences resolved).
+  long delta(const LocalState& ls) const {
+    long d = 0;
+    for (const auto& [key, e] : ls.store) {
+      const bool before = e.present_before.value();
+      if (e.kind == Entry::kPut && !before) ++d;
+      if (e.kind == Entry::kRemove && before) --d;
+    }
+    return d;
+  }
+
+  /// Pessimistic mode: doom conflicting readers at operation time.
+  void eager_detect(LocalState& ls, const K& key) const {
+    key_lockers_.violate_holders(key, ls.id);
+  }
+
+  /// THE commit handler (Table 2 "Write Conflict" column): runs inside the
+  /// commit token as a closed-nested frame of the committing transaction.
+  virtual void commit_handler(int cpu) {
+    LocalState& ls = locals_[static_cast<std::size_t>(cpu)];
+    charge_sem_op(1 + ls.store.size());
+    long applied_delta = 0;
+    for (auto& [key, e] : ls.store) {
+      if (!e.touched) continue;
+      // Semantic conflict: every other reader of this key is doomed.
+      key_lockers_.violate_holders(key, ls.id);
+      if (e.kind == Entry::kPut) {
+        if (!inner_->put(key, e.value).has_value()) ++applied_delta;
+      } else {
+        if (inner_->remove(key).has_value()) --applied_delta;
+      }
+    }
+    if (applied_delta != 0) {
+      size_lockers_.violate_all_except(ls.id);
+      const long new_size = inner_->size();
+      const bool was_empty = (new_size - applied_delta) == 0;
+      const bool now_empty = new_size == 0;
+      if (was_empty != now_empty) empty_lockers_.violate_all_except(ls.id);
+    }
+    release_and_clear(ls);
+  }
+
+  /// THE abort handler: pure compensation (paper Section 5 rules).
+  virtual void abort_handler(int cpu) {
+    LocalState& ls = locals_[static_cast<std::size_t>(cpu)];
+    charge_sem_op(ls.key_locks.size() + 1);
+    release_and_clear(ls);
+  }
+
+  void release_and_clear(LocalState& ls) {
+    for (const K& k : ls.key_locks) key_lockers_.unlock(k, ls.id);
+    if (ls.size_locked) size_lockers_.remove(ls.id);
+    if (ls.empty_locked) empty_lockers_.remove(ls.id);
+    ls.clear();
+  }
+
+  // ---- iterator: snapshot + merge with the store buffer (Section 3.1) ----
+
+  class Iter final : public jstd::MapIterator<K, V> {
+   public:
+    Iter(const TransactionalMap* m, LocalState* ls) : m_(m), ls_(ls) {
+      // Snapshot the underlying enumeration in ONE open-nested transaction
+      // (idempotent under retry), then merge with the store buffer.
+      atomos::open_atomically([&] {
+        charge_sem_op();
+        snapshot_.clear();
+        for (auto it = m_->inner_->iterator(); it->has_next();) snapshot_.push_back(it->next());
+      });
+      for (const auto& [key, e] : ls_->store) {
+        if (!e.touched || e.kind != Entry::kPut) continue;
+        bool in_snapshot = false;
+        for (const auto& [sk, sv] : snapshot_) {
+          if (Eq{}(sk, key)) {
+            in_snapshot = true;
+            break;
+          }
+        }
+        if (!in_snapshot) added_.emplace_back(key, e.value);
+      }
+      advance();
+    }
+
+    bool has_next() override {
+      if (next_.has_value()) return true;
+      // Observing exhaustion reveals the size: take the size lock (Table 2).
+      if (!exhaust_locked_) {
+        exhaust_locked_ = true;
+        atomos::open_atomically([&] {
+          charge_sem_op();
+          m_->size_lockers_.add(ls_->id);
+          ls_->size_locked = true;
+        });
+      }
+      return false;
+    }
+
+    std::pair<K, V> next() override {
+      auto out = *next_;
+      advance();
+      return out;
+    }
+
+   private:
+    void advance() {
+      next_.reset();
+      while (pos_ < snapshot_.size()) {
+        const K key = snapshot_[pos_].first;
+        ++pos_;
+        if (auto hit = m_->buffered_lookup(*ls_, key)) {
+          if (hit->has_value()) {
+            next_ = {key, **hit};
+            return;
+          }
+          continue;  // buffered remove: skip
+        }
+        // Lock the key and re-read under the lock (the snapshot may predate
+        // a concurrent commit; the lock makes the observation stable).
+        auto cur = atomos::open_atomically([&] {
+          charge_sem_op();
+          m_->lock_key(*ls_, key);
+          return m_->inner_->get(key);
+        });
+        if (cur.has_value()) {
+          next_ = {key, *cur};
+          return;
+        }
+        // Key vanished between snapshot and visit: consistent with
+        // serializing after the remover; skip it.
+      }
+      if (apos_ < added_.size()) {
+        next_ = added_[apos_++];
+        return;
+      }
+    }
+
+    const TransactionalMap* m_;
+    LocalState* ls_;
+    std::vector<std::pair<K, V>> snapshot_;
+    std::vector<std::pair<K, V>> added_;
+    std::size_t pos_ = 0;
+    std::size_t apos_ = 0;
+    std::optional<std::pair<K, V>> next_;
+    bool exhaust_locked_ = false;
+  };
+
+  std::unique_ptr<jstd::Map<K, V>> inner_;
+  Detection detection_;
+  mutable KeyLockTable<K, Hash, Eq> key_lockers_;
+  mutable LockerSet size_lockers_;
+  mutable LockerSet empty_lockers_;
+  mutable std::vector<LocalState> locals_;
+};
+
+}  // namespace tcc

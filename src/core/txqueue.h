@@ -1,0 +1,224 @@
+// tcc::TransactionalQueue — the paper's Section 3.3 reduced-isolation
+// transactional work queue (Tables 7-9).
+//
+// Wraps a jstd::Queue behind the narrow Channel interface.  Isolation is
+// deliberately relaxed to maximize concurrency:
+//
+//  * take()/poll() remove an element from the underlying queue EAGERLY, in
+//    an open-nested transaction (other transactions can immediately see it
+//    gone — the Delaunay work-queue pattern); the element is recorded in a
+//    removeBuffer and COMPENSATED (pushed back) if the parent aborts;
+//  * put() buffers the element in an addBuffer, applied at commit, so
+//    speculative work items never become visible (the failure mode open
+//    nesting alone suffers from, per Kulkarni et al.);
+//  * the only semantic conflict (Table 7): observing EMPTINESS via
+//    peek()/poll() returning nothing takes an empty lock, and a committing
+//    put() that makes the queue non-empty violates those observers.
+//
+// Because strict FIFO order is not maintained across transactions, put/take
+// pairs never conflict with each other (Table 7's blank cells).
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/lockers.h"
+#include "jstd/interfaces.h"
+#include "tm/runtime.h"
+
+namespace tcc {
+
+template <class T>
+class TransactionalQueue final : public jstd::Channel<T> {
+ public:
+  explicit TransactionalQueue(std::unique_ptr<jstd::Queue<T>> inner)
+      : inner_(std::move(inner)) {}
+
+  /// Enqueues `item` when the surrounding transaction commits (buffered in
+  /// the addBuffer until then; visible to this transaction's own polls).
+  void put(const T& item) override {
+    if (!transactional()) {
+      inner_->put(item);
+      return;
+    }
+    if (!in_txn()) {
+      atomos::Runtime::current().atomically([&] { put(item); });
+      return;
+    }
+    LocalState& ls = local();
+    ensure_registered(ls);
+    charge_sem_op();
+    ls.add_buffer.push_back(item);
+  }
+
+  /// Dequeues an element if one is available.  The removal is applied to
+  /// the shared queue IMMEDIATELY (reduced isolation); it is returned to
+  /// the queue if this transaction aborts.  An empty answer takes the empty
+  /// lock (Table 8), so a committing producer will violate us.
+  std::optional<T> poll() override {
+    if (!transactional()) return inner_->poll();
+    if (!in_txn())
+      return atomos::Runtime::current().atomically([&] { return poll(); });
+    LocalState& ls = local();
+    ensure_registered(ls);
+    charge_sem_op();
+    auto got = atomos::open_atomically([&] { return inner_->poll(); });
+    if (got.has_value()) {
+      ls.remove_buffer.push_back(*got);
+      return got;
+    }
+    if (!ls.add_buffer.empty()) {  // read-your-writes: consume own pending put
+      T item = ls.add_buffer.front();
+      ls.add_buffer.pop_front();
+      return item;
+    }
+    atomos::open_atomically([&] {
+      charge_sem_op();
+      empty_lockers_.add(ls.id);
+      ls.empty_locked = true;
+    });
+    return std::nullopt;
+  }
+
+  /// Dequeues like poll() but does NOT register an emptiness observation —
+  /// the Table 7 put/take row: transactions confined to put and take can
+  /// never conflict.  Callers must treat "no element" as retry-later, not
+  /// as a serializable fact.
+  std::optional<T> take() {
+    if (!transactional()) return inner_->poll();
+    if (!in_txn())
+      return atomos::Runtime::current().atomically([&] { return take(); });
+    LocalState& ls = local();
+    ensure_registered(ls);
+    charge_sem_op();
+    auto got = atomos::open_atomically([&] { return inner_->poll(); });
+    if (got.has_value()) {
+      ls.remove_buffer.push_back(*got);
+      return got;
+    }
+    if (!ls.add_buffer.empty()) {
+      T item = ls.add_buffer.front();
+      ls.add_buffer.pop_front();
+      return item;
+    }
+    return std::nullopt;
+  }
+
+  /// Observes the head without removing it; observing emptiness takes the
+  /// empty lock (Table 8's only peek rule).
+  std::optional<T> peek() const override {
+    if (!transactional()) return inner_->peek();
+    if (!in_txn())
+      return atomos::Runtime::current().atomically([&] { return peek(); });
+    LocalState& ls = local();
+    ensure_registered(ls);
+    charge_sem_op();
+    auto got = atomos::open_atomically([&] { return inner_->peek(); });
+    if (got.has_value()) return got;
+    if (!ls.add_buffer.empty()) return ls.add_buffer.front();
+    atomos::open_atomically([&] {
+      charge_sem_op();
+      empty_lockers_.add(ls.id);
+      ls.empty_locked = true;
+    });
+    return std::nullopt;
+  }
+
+  // ---- introspection (tests) ----
+  const jstd::Queue<T>& inner() const { return *inner_; }
+  std::size_t empty_locker_count() const { return empty_lockers_.size(); }
+
+ private:
+  struct LocalState {
+    atomos::TxnId id{};
+    bool registered = false;
+    bool empty_locked = false;
+    std::deque<T> add_buffer;     // Table 9: addBuffer
+    std::vector<T> remove_buffer; // Table 9: removeBuffer
+
+    void clear() {
+      add_buffer.clear();
+      remove_buffer.clear();
+      registered = false;
+      empty_locked = false;
+      id = atomos::TxnId{};
+    }
+  };
+
+  static bool transactional() {
+    return atomos::Runtime::active() && sim::Engine::in_worker() &&
+           atomos::Runtime::current().mode() == sim::Mode::kTcc;
+  }
+
+  static bool in_txn() { return atomos::Runtime::current().in_txn(); }
+
+  LocalState& local() const {
+    auto& rt = atomos::Runtime::current();
+    const auto cpu = static_cast<std::size_t>(rt.engine().cpu_id());
+    if (locals_.size() <= cpu)
+      locals_.resize(static_cast<std::size_t>(rt.engine().config().num_cpus));
+    LocalState& ls = locals_[cpu];
+    const atomos::TxnId cur = rt.self_id();
+    if (!(ls.id == cur)) {
+      assert(ls.add_buffer.empty() && ls.remove_buffer.empty());
+      ls.clear();
+      ls.id = cur;
+    }
+    return ls;
+  }
+
+  void ensure_registered(LocalState& ls) const {
+    if (ls.registered) return;
+    ls.registered = true;
+    auto& rt = atomos::Runtime::current();
+    const int cpu = rt.engine().cpu_id();
+    auto* self = const_cast<TransactionalQueue*>(this);
+    // Only transactions with pending puts need the token at commit.
+    rt.on_top_commit([self, cpu] { self->commit_handler(cpu); },
+                     [self, cpu] {
+                       return !self->locals_[static_cast<std::size_t>(cpu)].add_buffer.empty();
+                     });
+    rt.on_top_abort([self, cpu] { self->abort_handler(cpu); });
+  }
+
+  /// Applies the addBuffer; a producer making an empty queue non-empty
+  /// violates every emptiness observer (Table 8: put "if now non-empty").
+  void commit_handler(int cpu) {
+    LocalState& ls = locals_[static_cast<std::size_t>(cpu)];
+    charge_sem_op(ls.add_buffer.size() + 1);
+    if (!ls.add_buffer.empty()) {
+      if (inner_->is_empty()) empty_lockers_.violate_all_except(ls.id);
+      for (const T& item : ls.add_buffer) inner_->put(item);
+    }
+    release_and_clear(ls);
+  }
+
+  /// Compensation: eagerly removed elements go back (order not preserved —
+  /// the queue deliberately keeps no strict ordering across transactions).
+  void abort_handler(int cpu) {
+    LocalState& ls = locals_[static_cast<std::size_t>(cpu)];
+    charge_sem_op(ls.remove_buffer.size() + 1);
+    if (!ls.remove_buffer.empty()) {
+      atomos::open_atomically([&] {
+        const bool was_empty = inner_->is_empty();
+        for (const T& item : ls.remove_buffer) inner_->put(item);
+        if (was_empty) empty_lockers_.violate_all_except(ls.id);
+      });
+    }
+    release_and_clear(ls);
+  }
+
+  void release_and_clear(LocalState& ls) {
+    if (ls.empty_locked) empty_lockers_.remove(ls.id);
+    ls.clear();
+  }
+
+  std::unique_ptr<jstd::Queue<T>> inner_;
+  mutable LockerSet empty_lockers_;
+  mutable std::vector<LocalState> locals_;
+};
+
+}  // namespace tcc

@@ -1,0 +1,72 @@
+// tcc::TransactionalSet / TransactionalSortedSet — thin wrappers over the
+// transactional maps, exactly as Section 5.1 prescribes ("they can be built
+// as simple wrappers around TransactionalMap / TransactionalSortedMap, as
+// has been done for ConcurrentHashSet on ConcurrentHashMap").
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/txmap.h"
+#include "core/txsortedmap.h"
+
+namespace tcc {
+
+template <class K, class Hash = std::hash<K>, class Eq = std::equal_to<K>>
+class TransactionalSet {
+ public:
+  explicit TransactionalSet(std::unique_ptr<jstd::Map<K, char>> inner,
+                            Detection detection = Detection::kOptimistic)
+      : map_(std::move(inner), detection) {}
+
+  /// Adds `key`; returns true if it was not already present.
+  bool add(const K& key) { return !map_.put(key, 1).has_value(); }
+  /// Removes `key`; returns true if it was present.
+  bool remove(const K& key) { return map_.remove(key).has_value(); }
+  bool contains(const K& key) const { return map_.contains_key(key); }
+  long size() const { return map_.size(); }
+  bool is_empty() const { return map_.is_empty(); }
+
+  /// Blind add: no membership read, so blind adders of one key commute.
+  void add_blind(const K& key) { map_.put_blind(key, 1); }
+  void remove_blind(const K& key) { map_.remove_blind(key); }
+
+  /// Enumerates members (wraps the map's entry iterator).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (auto it = map_.iterator(); it->has_next();) fn(it->next().first);
+  }
+
+ private:
+  TransactionalMap<K, char, Hash, Eq> map_;
+};
+
+template <class K, class Compare = std::less<K>, class Hash = std::hash<K>,
+          class Eq = std::equal_to<K>>
+class TransactionalSortedSet {
+ public:
+  explicit TransactionalSortedSet(std::unique_ptr<jstd::SortedMap<K, char>> inner,
+                                  Detection detection = Detection::kOptimistic,
+                                  Compare cmp = Compare())
+      : map_(std::move(inner), detection, cmp) {}
+
+  bool add(const K& key) { return !map_.put(key, 1).has_value(); }
+  bool remove(const K& key) { return map_.remove(key).has_value(); }
+  bool contains(const K& key) const { return map_.contains_key(key); }
+  long size() const { return map_.size(); }
+  bool is_empty() const { return map_.is_empty(); }
+  std::optional<K> first() const { return map_.first_key(); }
+  std::optional<K> last() const { return map_.last_key(); }
+
+  /// Enumerates members of [from, to) in order.
+  template <class Fn>
+  void for_each_range(const std::optional<K>& from, const std::optional<K>& to,
+                      Fn&& fn) const {
+    for (auto it = map_.range_iterator(from, to); it->has_next();) fn(it->next().first);
+  }
+
+ private:
+  TransactionalSortedMap<K, char, Compare, Hash, Eq> map_;
+};
+
+}  // namespace tcc

@@ -1,0 +1,49 @@
+// Benchmark harness: runs a workload across CPU counts on the simulator and
+// prints paper-style speedup series (baseline = the 1-CPU lock-mode run),
+// plus the simulator statistics (violations, lost cycles) used for analysis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace harness {
+
+/// One simulation measurement.
+struct RunResult {
+  std::string series;
+  int cpus = 0;
+  std::uint64_t cycles = 0;          ///< simulated elapsed cycles
+  std::uint64_t violations = 0;      ///< top-level (parent) violations
+  std::uint64_t semantic = 0;        ///< program-directed aborts
+  std::uint64_t lost_cycles = 0;     ///< cycles discarded by rollbacks
+  std::uint64_t commits = 0;
+  double speedup = 0.0;              ///< vs the figure's 1-CPU baseline
+};
+
+/// A named series: given a Config (mode/cpu count pre-filled), run the
+/// workload to completion and report (cycles, stats) via the returned
+/// RunResult fields other than series/cpus/speedup (filled by the harness).
+struct Series {
+  std::string name;
+  sim::Mode mode;
+  /// Runs the workload on `cpus` virtual CPUs; returns simulated cycles and
+  /// fills the stats fields of the result.
+  std::function<void(int cpus, RunResult& out)> run;
+};
+
+/// Runs every series at each CPU count; the FIRST series' 1-CPU run is the
+/// speedup baseline (paper: "the single-processor Java version is used as
+/// the baseline").  Prints the figure as rows of speedups plus a stats
+/// appendix, and returns all results (also emitted as CSV when `csv_path`
+/// is non-empty).
+std::vector<RunResult> run_figure(const std::string& figure_title,
+                                  const std::vector<Series>& series,
+                                  const std::vector<int>& cpu_counts,
+                                  const std::string& csv_path = "");
+
+}  // namespace harness

@@ -1,0 +1,96 @@
+// java.util-style collection interfaces.
+//
+// The paper's transactional collection classes are *wrappers* around
+// existing Map / SortedMap / Queue implementations; these interfaces define
+// the contract both the plain implementations (jstd::HashMap, jstd::TreeMap,
+// jstd::LinkedQueue) and the wrappers (tcc::TransactionalMap, ...) satisfy,
+// so a wrapper is a drop-in replacement.
+//
+// Key/value types must be trivially copyable machine words (ints, ids,
+// pointers to entity objects); absent values are conveyed via std::optional,
+// standing in for Java's null returns.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace jstd {
+
+/// entrySet().iterator() equivalent: enumerates (key, value) pairs.
+template <class K, class V>
+class MapIterator {
+ public:
+  virtual ~MapIterator() = default;
+  /// True if another entry exists.  NOTE (paper Table 1): observing `false`
+  /// reveals the map's size — transactional wrappers take a size lock here.
+  virtual bool has_next() = 0;
+  /// The next entry.  Calling past the end is undefined.
+  virtual std::pair<K, V> next() = 0;
+};
+
+/// java.util.Map's primitive operations (paper Section 3.1's reduction:
+/// isEmpty, putAll, etc. are derivatives of these).
+template <class K, class V>
+class Map {
+ public:
+  virtual ~Map() = default;
+
+  /// Value bound to `key`, if any.
+  virtual std::optional<V> get(const K& key) const = 0;
+  /// Binds `key` to `value`; returns the previous binding, if any.
+  virtual std::optional<V> put(const K& key, const V& value) = 0;
+  /// Unbinds `key`; returns the removed value, if any.
+  virtual std::optional<V> remove(const K& key) = 0;
+  /// True if `key` is bound.
+  virtual bool contains_key(const K& key) const = 0;
+  /// Number of bindings.
+  virtual long size() const = 0;
+  /// Derivative of size() by default — precisely the concurrency-limiting
+  /// choice Section 5.1 discusses; wrappers may override with a dedicated
+  /// empty-transition lock.
+  virtual bool is_empty() const { return size() == 0; }
+  /// Enumerates all entries (unspecified order for hash maps).
+  virtual std::unique_ptr<MapIterator<K, V>> iterator() const = 0;
+};
+
+/// java.util.SortedMap: ordered iteration, endpoints, range views.
+template <class K, class V>
+class SortedMap : public Map<K, V> {
+ public:
+  /// Smallest key, if any.
+  virtual std::optional<K> first_key() const = 0;
+  /// Largest key, if any.
+  virtual std::optional<K> last_key() const = 0;
+  /// In-order enumeration of keys in [from, to); std::nullopt bounds are
+  /// open (headMap/tailMap/subMap views collapse to this single primitive).
+  virtual std::unique_ptr<MapIterator<K, V>> range_iterator(
+      const std::optional<K>& from, const std::optional<K>& to) const = 0;
+  /// Largest key strictly smaller than `key`, if any (the predecessor; used
+  /// by wrappers to merge endpoint views with buffered removals).
+  virtual std::optional<K> last_key_before(const K& key) const = 0;
+};
+
+/// util.concurrent's Channel: the narrow enqueue/dequeue interface the paper
+/// wraps with TransactionalQueue (random access deliberately absent).
+template <class T>
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  /// Enqueues an element.
+  virtual void put(const T& item) = 0;
+  /// Dequeues an element, if any (non-blocking poll).
+  virtual std::optional<T> poll() = 0;
+  /// The element poll() would return, without removing it.
+  virtual std::optional<T> peek() const = 0;
+};
+
+/// A plain queue (the implementation TransactionalQueue wraps).
+template <class T>
+class Queue : public Channel<T> {
+ public:
+  virtual long size() const = 0;
+  virtual bool is_empty() const { return size() == 0; }
+};
+
+}  // namespace jstd

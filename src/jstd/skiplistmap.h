@@ -1,0 +1,190 @@
+// jstd::SkipListMap — a skip-list SortedMap over transactional cells,
+// shaped like the ConcurrentSkipListMap the paper's Section 2.2 discusses
+// (JDK 6's NavigableMap implementation).
+//
+// Offers the same SortedMap interface as jstd::TreeMap with a different
+// internal conflict profile: no rotations, but tower-link updates on insert
+// and a shared `size` field — under long transactions it conflicts less
+// than a red-black tree on structural changes yet still needs the
+// TransactionalSortedMap wrapper for full semantic concurrency.  Height is
+// drawn from a deterministic per-map PRNG so simulations stay reproducible.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "jstd/interfaces.h"
+#include "tm/runtime.h"
+#include "tm/shared.h"
+
+namespace jstd {
+
+template <class K, class V, class Compare = std::less<K>>
+class SkipListMap final : public SortedMap<K, V> {
+ public:
+  static constexpr int kMaxLevel = 16;
+
+  explicit SkipListMap(Compare cmp = Compare(), std::uint64_t seed = 0x9e3779b9)
+      : cmp_(cmp), rng_(seed), size_(0, "SkipListMap.size") {
+    head_ = new Node(K{}, V{}, kMaxLevel);  // sentinel; key unused
+  }
+
+  ~SkipListMap() override {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0].unsafe_peek();
+      delete n;
+      n = next;
+    }
+  }
+
+  SkipListMap(const SkipListMap&) = delete;
+  SkipListMap& operator=(const SkipListMap&) = delete;
+
+  std::optional<V> get(const K& key) const override {
+    Node* n = find_geq(key, nullptr);
+    if (n != nullptr && equal(n->key.get(), key)) return n->val.get();
+    return std::nullopt;
+  }
+
+  bool contains_key(const K& key) const override { return get(key).has_value(); }
+
+  long size() const override { return size_.get(); }
+
+  std::optional<V> put(const K& key, const V& value) override {
+    Node* preds[kMaxLevel];
+    Node* n = find_geq(key, preds);
+    if (n != nullptr && equal(n->key.get(), key)) {
+      V old = n->val.get();
+      n->val.set(value);
+      return old;
+    }
+    const int height = random_height();
+    Node* fresh = atomos::tx_new<Node>(key, value, height);
+    for (int lvl = 0; lvl < height; ++lvl) {
+      fresh->next[lvl].set(preds[lvl]->next[lvl].get());
+      preds[lvl]->next[lvl].set(fresh);
+    }
+    size_.set(size_.get() + 1);
+    return std::nullopt;
+  }
+
+  std::optional<V> remove(const K& key) override {
+    Node* preds[kMaxLevel];
+    Node* n = find_geq(key, preds);
+    if (n == nullptr || !equal(n->key.get(), key)) return std::nullopt;
+    V old = n->val.get();
+    for (int lvl = 0; lvl < n->height; ++lvl) {
+      if (preds[lvl]->next[lvl].get() == n) preds[lvl]->next[lvl].set(n->next[lvl].get());
+    }
+    atomos::tx_delete(n);
+    size_.set(size_.get() - 1);
+    return old;
+  }
+
+  std::optional<K> first_key() const override {
+    Node* n = head_->next[0].get();
+    if (n == nullptr) return std::nullopt;
+    return n->key.get();
+  }
+
+  std::optional<K> last_key() const override {
+    Node* n = head_;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+      for (Node* nx = n->next[lvl].get(); nx != nullptr; nx = n->next[lvl].get()) n = nx;
+    }
+    if (n == head_) return std::nullopt;
+    return n->key.get();
+  }
+
+  std::optional<K> last_key_before(const K& key) const override {
+    Node* n = head_;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+      for (Node* nx = n->next[lvl].get(); nx != nullptr && cmp_(nx->key.get(), key);
+           nx = n->next[lvl].get()) {
+        n = nx;
+      }
+    }
+    if (n == head_) return std::nullopt;
+    return n->key.get();
+  }
+
+  std::unique_ptr<MapIterator<K, V>> iterator() const override {
+    return range_iterator(std::nullopt, std::nullopt);
+  }
+
+  std::unique_ptr<MapIterator<K, V>> range_iterator(
+      const std::optional<K>& from, const std::optional<K>& to) const override {
+    Node* start = from.has_value() ? find_geq(*from, nullptr) : head_->next[0].get();
+    return std::make_unique<Iter>(this, start, to);
+  }
+
+ private:
+  struct Node {
+    Node(const K& k, const V& v, int h)
+        : key(k), val(v), height(h),
+          next(std::make_unique<atomos::Shared<Node*>[]>(static_cast<std::size_t>(h))) {}
+    atomos::Shared<K> key;  // immutable after construction
+    atomos::Shared<V> val;
+    const int height;
+    std::unique_ptr<atomos::Shared<Node*>[]> next;
+  };
+
+  bool equal(const K& a, const K& b) const { return !cmp_(a, b) && !cmp_(b, a); }
+
+  /// Smallest node with node.key >= key; optionally records the predecessor
+  /// at every level (for insert/remove splicing).
+  Node* find_geq(const K& key, Node** preds) const {
+    Node* n = head_;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+      for (Node* nx = n->next[lvl].get(); nx != nullptr && cmp_(nx->key.get(), key);
+           nx = n->next[lvl].get()) {
+        n = nx;
+      }
+      if (preds != nullptr) preds[lvl] = n;
+    }
+    return n->next[0].get();
+  }
+
+  int random_height() {
+    rng_ = rng_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t bits = rng_ >> 33;
+    int h = 1;
+    while (h < kMaxLevel && (bits & (1ULL << h)) != 0) ++h;
+    return h;
+  }
+
+  class Iter final : public MapIterator<K, V> {
+   public:
+    Iter(const SkipListMap* m, Node* start, std::optional<K> to)
+        : m_(m), n_(start), to_(std::move(to)) {
+      clamp();
+    }
+
+    bool has_next() override { return n_ != nullptr; }
+
+    std::pair<K, V> next() override {
+      std::pair<K, V> out{n_->key.get(), n_->val.get()};
+      n_ = n_->next[0].get();
+      clamp();
+      return out;
+    }
+
+   private:
+    void clamp() {
+      if (n_ != nullptr && to_.has_value() && !m_->cmp_(n_->key.get(), *to_)) n_ = nullptr;
+    }
+    const SkipListMap* m_;
+    Node* n_;
+    std::optional<K> to_;
+  };
+
+  Compare cmp_;
+  std::uint64_t rng_;
+  atomos::Shared<long> size_;
+  Node* head_;  // sentinel, never reclaimed until destruction
+};
+
+}  // namespace jstd

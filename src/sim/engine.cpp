@@ -1,0 +1,173 @@
+#include "sim/engine.h"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace sim {
+namespace {
+
+thread_local Engine* g_engine = nullptr;
+
+}  // namespace
+
+Engine::Engine(const Config& cfg)
+    : cfg_(cfg),
+      stats_(cfg.num_cpus),
+      mem_(cfg_, stats_),
+      cpus_(static_cast<std::size_t>(cfg.num_cpus)),
+      user_(static_cast<std::size_t>(cfg.num_cpus), nullptr) {
+  if (cfg.num_cpus < 1 || cfg.num_cpus > 32)
+    throw std::invalid_argument("Engine: num_cpus must be in [1,32]");
+  for (int i = 0; i < cfg.num_cpus; ++i) cpus_[static_cast<std::size_t>(i)].id_ = i;
+}
+
+Engine::~Engine() {
+  // If run() was abandoned with live fibers (e.g. an exception inside the
+  // scheduler), unwind them so their RAII state is released.
+  kill_all_suspended();
+}
+
+void Engine::kill_all_suspended() {
+  poisoned_ = true;
+  for (Cpu& c : cpus_) {
+    if (c.fiber_ != nullptr && !c.fiber_->finished()) {
+      current_cpu_ = c.id_;
+      c.fiber_->resume();  // wakes in block()/maybe_yield(), throws FiberKilled
+      current_cpu_ = -1;
+      c.state_ = Cpu::State::kDone;
+    }
+  }
+  poisoned_ = false;
+}
+
+void Engine::spawn(std::function<void()> work) {
+  if (running_) throw std::logic_error("Engine::spawn during run()");
+  if (work_.size() >= cpus_.size())
+    throw std::logic_error("Engine::spawn: more workers than virtual CPUs");
+  work_.push_back(std::move(work));
+}
+
+int Engine::pick_next() const {
+  int best = -1;
+  std::uint64_t best_clock = std::numeric_limits<std::uint64_t>::max();
+  for (const Cpu& c : cpus_) {
+    if (c.state_ == Cpu::State::kRunnable && c.clock_ < best_clock) {
+      best = c.id_;
+      best_clock = c.clock_;
+    }
+  }
+  return best;
+}
+
+void Engine::run() {
+  if (running_) throw std::logic_error("Engine::run re-entered");
+  if (work_.empty()) return;
+  running_ = true;
+  Engine* prev = g_engine;
+  g_engine = this;
+
+  for (std::size_t i = 0; i < work_.size(); ++i) {
+    Cpu& c = cpus_[i];
+    const int id = static_cast<int>(i);
+    c.state_ = Cpu::State::kRunnable;
+    c.fiber_ = std::make_unique<Fiber>([this, id] { worker_main(id); });
+  }
+
+  for (;;) {
+    const int next = pick_next();
+    if (next < 0) {
+      bool any_blocked = false;
+      bool all_done = true;
+      for (const Cpu& c : cpus_) {
+        if (c.state_ == Cpu::State::kBlocked) any_blocked = true;
+        if (c.state_ != Cpu::State::kDone && c.state_ != Cpu::State::kIdle) all_done = false;
+      }
+      if (all_done) break;
+      if (any_blocked) {
+        kill_all_suspended();
+        g_engine = prev;
+        running_ = false;
+        throw std::runtime_error("Engine: virtual deadlock (all CPUs blocked)");
+      }
+      break;
+    }
+    Cpu& c = cpus_[static_cast<std::size_t>(next)];
+    // Snapshot of the minimum *other* runnable clock; the fiber may run
+    // until it passes this value + slack.  Other clocks are frozen while it
+    // runs, so the snapshot stays exact unless it unblocks someone (which
+    // tightens the limit via unblock()).
+    std::uint64_t limit = std::numeric_limits<std::uint64_t>::max();
+    for (const Cpu& o : cpus_) {
+      if (o.id_ != next && o.state_ == Cpu::State::kRunnable && o.clock_ < limit)
+        limit = o.clock_;
+    }
+    run_limit_ = (limit == std::numeric_limits<std::uint64_t>::max())
+                     ? limit
+                     : limit + cfg_.slack;
+    current_cpu_ = next;
+    c.fiber_->resume();
+    current_cpu_ = -1;
+    if (c.fiber_->finished()) c.state_ = Cpu::State::kDone;
+  }
+
+  g_engine = prev;
+  running_ = false;
+}
+
+void Engine::worker_main(int cpu) { work_[static_cast<std::size_t>(cpu)](); }
+
+std::uint64_t Engine::elapsed_cycles() const {
+  std::uint64_t m = 0;
+  for (const Cpu& c : cpus_)
+    if (c.clock_ > m) m = c.clock_;
+  return m;
+}
+
+Engine& Engine::get() {
+  if (g_engine == nullptr) throw std::logic_error("Engine::get: no active simulation");
+  return *g_engine;
+}
+
+bool Engine::in_worker() { return g_engine != nullptr && g_engine->current_cpu_ >= 0; }
+
+void Engine::maybe_yield() {
+  Cpu& c = cpus_[static_cast<std::size_t>(current_cpu_)];
+  if (c.clock_ > run_limit_) {
+    Fiber::yield();
+    if (poisoned_) throw FiberKilled{};
+  }
+}
+
+void Engine::tick(std::uint64_t cycles) {
+  Cpu& c = cpus_[static_cast<std::size_t>(current_cpu_)];
+  c.clock_ += cycles;
+  maybe_yield();
+}
+
+void Engine::advance_to(std::uint64_t t) {
+  Cpu& c = cpus_[static_cast<std::size_t>(current_cpu_)];
+  if (t > c.clock_) c.clock_ = t;
+  maybe_yield();
+}
+
+void Engine::block() {
+  Cpu& c = cpus_[static_cast<std::size_t>(current_cpu_)];
+  c.state_ = Cpu::State::kBlocked;
+  Fiber::yield();
+  if (poisoned_) throw FiberKilled{};
+  // Rescheduled: unblock() made us runnable and set our clock.
+}
+
+void Engine::unblock(int cpu, std::uint64_t at) {
+  Cpu& c = cpus_[static_cast<std::size_t>(cpu)];
+  if (c.state_ != Cpu::State::kBlocked)
+    throw std::logic_error("Engine::unblock: target CPU is not blocked");
+  c.state_ = Cpu::State::kRunnable;
+  if (at > c.clock_) c.clock_ = at;
+  // The woken CPU may now be the global minimum: tighten our run limit so the
+  // current fiber yields promptly and ordering stays exact.
+  if (c.clock_ < run_limit_) run_limit_ = c.clock_ + cfg_.slack;
+}
+
+}  // namespace sim

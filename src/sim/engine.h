@@ -1,0 +1,119 @@
+// Execution-driven CMP simulation engine.
+//
+// One worker (fiber) per virtual CPU.  The scheduler always advances the
+// runnable CPU with the smallest virtual clock; because only one fiber runs
+// at a time on the host, the other CPUs' clocks are frozen while it runs, so
+// a CPU can safely execute until its clock passes the snapshot of the
+// minimum other clock (plus configurable slack).  The interleaving of
+// shared-memory events is therefore globally time-ordered and fully
+// deterministic given (Config, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/fiber.h"
+#include "sim/memsys.h"
+#include "sim/stats.h"
+
+namespace sim {
+
+/// One virtual CPU: clock, scheduling state, worker fiber.
+class Cpu {
+ public:
+  enum class State : std::uint8_t { kIdle, kRunnable, kBlocked, kDone };
+
+  int id() const { return id_; }
+  std::uint64_t clock() const { return clock_; }
+  State state() const { return state_; }
+
+ private:
+  friend class Engine;
+  int id_ = -1;
+  std::uint64_t clock_ = 0;
+  State state_ = State::kIdle;
+  std::unique_ptr<Fiber> fiber_;
+};
+
+/// The simulation engine.  Typical use:
+///
+///   sim::Config cfg;   cfg.num_cpus = 8;  cfg.mode = sim::Mode::kTcc;
+///   sim::Engine eng(cfg);
+///   for (int i = 0; i < 8; ++i) eng.spawn([&]{ worker(i); });
+///   eng.run();
+///   // eng.elapsed_cycles(), eng.stats() ...
+class Engine {
+ public:
+  explicit Engine(const Config& cfg);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers a worker on the next free virtual CPU (at most one per CPU,
+  /// mirroring the paper's thread-per-CPU experiments).
+  void spawn(std::function<void()> work);
+
+  /// Runs all workers to completion.  Throws on virtual deadlock.
+  void run();
+
+  /// Simulated duration: max CPU clock at completion.
+  std::uint64_t elapsed_cycles() const;
+
+  const Config& config() const { return cfg_; }
+  Stats& stats() { return stats_; }
+  MemSys& memsys() { return mem_; }
+
+  // ---- API usable from inside worker fibers ----
+
+  /// The engine whose run() is active on this thread (never null inside a
+  /// worker; throws otherwise).
+  static Engine& get();
+  /// True if a simulation is running on this thread *and* we are inside a
+  /// worker fiber (as opposed to e.g. benchmark setup code).
+  static bool in_worker();
+
+  /// The virtual CPU executing the calling fiber.
+  int cpu_id() const { return current_cpu_; }
+  std::uint64_t now() const { return cpus_[static_cast<std::size_t>(current_cpu_)].clock_; }
+
+  /// Advances the current CPU by `cycles` of CPI-1.0 work, yielding to the
+  /// scheduler if it runs past the other CPUs' progress.
+  void tick(std::uint64_t cycles);
+
+  /// Sets the current CPU's clock to `t` (used by the TM/memory layers after
+  /// a timed memory operation) and yields if ordering requires.
+  void advance_to(std::uint64_t t);
+
+  /// Blocks the current CPU until some other CPU calls unblock() on it.
+  void block();
+
+  /// Makes `cpu` runnable again; its clock is advanced to at least `at`
+  /// (typically the waker's current time).
+  void unblock(int cpu, std::uint64_t at);
+
+  /// Per-CPU opaque slot for higher layers (the TM runtime).
+  void*& user(int cpu) { return user_[static_cast<std::size_t>(cpu)]; }
+
+ private:
+  void worker_main(int cpu);
+  void maybe_yield();
+  void kill_all_suspended();
+  [[nodiscard]] int pick_next() const;  // min-clock runnable CPU, -1 if none
+
+  Config cfg_;
+  Stats stats_;
+  MemSys mem_;
+  std::vector<Cpu> cpus_;
+  std::vector<std::function<void()>> work_;
+  std::vector<void*> user_;
+  int current_cpu_ = -1;
+  std::uint64_t run_limit_ = 0;  // current fiber may run until clock > limit
+  bool running_ = false;
+  bool poisoned_ = false;  // force every suspended fiber to unwind
+};
+
+}  // namespace sim

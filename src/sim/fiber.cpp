@@ -1,0 +1,138 @@
+#include "sim/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+extern "C" {
+// Defined in context.S.
+void tcc_ctx_swap(void** save_sp, void* restore_sp);
+void tcc_fiber_entry_thunk();
+
+// Called (via the thunk) on the fiber's own stack at first activation.
+void tcc_fiber_entry(sim::Fiber* f);
+}
+
+// Itanium C++ ABI exception-handling globals (one per host thread).  We swap
+// their contents per fiber so exceptions thrown/caught on different fiber
+// stacks never interleave.  Layout per the ABI; __cxa_get_globals is
+// provided by libstdc++/libsupc++.
+namespace __cxxabiv1 {
+struct __cxa_eh_globals {
+  void* caughtExceptions;
+  unsigned int uncaughtExceptions;
+};
+extern "C" __cxa_eh_globals* __cxa_get_globals() noexcept;
+}  // namespace __cxxabiv1
+
+namespace sim {
+namespace {
+
+thread_local Fiber* g_current_fiber = nullptr;
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+}  // namespace
+
+Fiber* Fiber::current() noexcept { return g_current_fiber; }
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)) {
+  const std::size_t ps = page_size();
+  const std::size_t usable = round_up(stack_bytes, ps);
+  map_bytes_ = usable + ps;  // one guard page below the stack
+  void* mem = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) throw std::runtime_error("Fiber: mmap failed");
+  if (::mprotect(mem, ps, PROT_NONE) != 0) {
+    ::munmap(mem, map_bytes_);
+    throw std::runtime_error("Fiber: mprotect failed");
+  }
+  stack_mem_ = mem;
+
+  // Seed the initial frame at the top of the stack: six callee-saved slots
+  // (r15 r14 r13 r12 rbx rbp, in pop order) then the thunk's address as the
+  // return target of tcc_ctx_swap's final `ret`.
+  auto top = reinterpret_cast<std::uintptr_t>(mem) + map_bytes_;
+  top &= ~static_cast<std::uintptr_t>(15);  // 16-byte align
+  auto* sp = reinterpret_cast<std::uintptr_t*>(top);
+  *--sp = reinterpret_cast<std::uintptr_t>(&tcc_fiber_entry_thunk);  // ret target
+  *--sp = 0;                                       // rbp
+  *--sp = 0;                                       // rbx
+  *--sp = reinterpret_cast<std::uintptr_t>(this);  // r12 -> Fiber*
+  *--sp = 0;                                       // r13
+  *--sp = 0;                                       // r14
+  *--sp = 0;                                       // r15
+  fiber_sp_ = sp;
+}
+
+Fiber::~Fiber() {
+  if (started_ && !finished_) {
+    // Destroying a suspended fiber would leak whatever RAII state its stack
+    // holds; the simulator always runs fibers to completion, so treat this
+    // as a usage error rather than trying to unwind a foreign stack.
+    std::fprintf(stderr, "sim::Fiber destroyed while suspended; aborting\n");
+    std::abort();
+  }
+  if (stack_mem_ != nullptr) ::munmap(stack_mem_, map_bytes_);
+}
+
+void Fiber::resume() {
+  if (finished_) throw std::logic_error("Fiber::resume on finished fiber");
+  if (g_current_fiber != nullptr)
+    throw std::logic_error("Fiber::resume must be called from the main context");
+  started_ = true;
+  running_ = true;
+  g_current_fiber = this;
+  // Install the fiber's exception-handling globals, parking the resumer's.
+  auto* eh = reinterpret_cast<EhGlobals*>(__cxxabiv1::__cxa_get_globals());
+  eh_return_state_ = *eh;
+  *eh = eh_state_;
+  tcc_ctx_swap(&return_sp_, fiber_sp_);
+  // Back from the fiber (yield or finish): park its globals, restore ours.
+  eh_state_ = *eh;
+  *eh = eh_return_state_;
+  g_current_fiber = nullptr;
+  running_ = false;
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current_fiber;
+  if (self == nullptr) throw std::logic_error("Fiber::yield outside a fiber");
+  tcc_ctx_swap(&self->fiber_sp_, self->return_sp_);
+}
+
+void Fiber::run_body() noexcept {
+  try {
+    body_();
+  } catch (const FiberKilled&) {
+    // Forced termination requested by the scheduler: unwound cleanly.
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: exception escaped fiber body: %s\n", e.what());
+    std::abort();
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown exception escaped fiber body\n");
+    std::abort();
+  }
+  finished_ = true;
+  // Return to the resumer for the last time.  tcc_ctx_swap saves a resume
+  // point we will never use.
+  tcc_ctx_swap(&fiber_sp_, return_sp_);
+  std::abort();  // unreachable: nobody may resume a finished fiber
+}
+
+}  // namespace sim
+
+extern "C" void tcc_fiber_entry(sim::Fiber* f) { f->run_body(); }

@@ -1,0 +1,91 @@
+// Stackful fibers for the execution-driven CMP simulator.
+//
+// Every virtual CPU runs its workload on a fiber so that the simulator can
+// suspend it at *any* call depth (e.g. deep inside a red-black tree rotation)
+// whenever virtual-time ordering requires another CPU to advance first.
+//
+// The implementation is a hand-rolled x86-64 System V context switch
+// (see context.S); a switch costs a handful of nanoseconds of host time,
+// which matters because benchmarks perform millions of switches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+namespace sim {
+
+/// Thrown *into* a fiber (by the scheduler, after poisoning) to force it to
+/// unwind its stack and terminate.  Fiber bodies must let it propagate; the
+/// fiber machinery treats it as normal termination.
+struct FiberKilled {};
+
+/// A cooperatively scheduled stackful coroutine.
+///
+/// Usage:
+///   Fiber f([]{ ...; });   // does not start running yet
+///   f.resume();            // runs until f yields or finishes
+///   f.finished();          // true once the body returned
+///
+/// The body may call Fiber::yield() (static; applies to the currently
+/// running fiber) to suspend back to whoever resumed it.  C++ exceptions may
+/// be thrown and caught freely *within* the fiber body, but must never
+/// propagate out of it; the fiber traps that case and terminates the process
+/// with a diagnostic, because unwinding across a context switch is undefined.
+class Fiber {
+ public:
+  /// Creates a fiber that will run `body` on its own `stack_bytes`-sized
+  /// stack (rounded up to the page size, with an inaccessible guard page
+  /// below it to turn stack overflow into a clean fault).
+  explicit Fiber(std::function<void()> body, std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Transfers control into the fiber.  Returns when the fiber yields or
+  /// its body returns.  Must not be called on a finished fiber, nor from
+  /// within any fiber (only the scheduler/main context resumes fibers).
+  void resume();
+
+  /// Suspends the currently running fiber, returning control to the context
+  /// that resumed it.  Must be called from within a fiber body.
+  static void yield();
+
+  /// True once the fiber body has returned.
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// The fiber currently executing on this thread, or nullptr if we are in
+  /// the main (scheduler) context.
+  static Fiber* current() noexcept;
+
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  /// \internal Entry point invoked on the fiber's own stack (from context.S);
+  /// not part of the public API.
+  void run_body() noexcept;
+
+ private:
+  // Per-fiber copy of the Itanium-ABI exception-handling globals
+  // (__cxa_eh_globals): the caught-exception stack is thread-local, so a
+  // fiber that yields inside a catch block would otherwise interleave its
+  // exception state with other fibers'.  Saved/restored at every switch.
+  struct EhGlobals {
+    void* caught_exceptions = nullptr;
+    unsigned int uncaught_exceptions = 0;
+  };
+
+  std::function<void()> body_;
+  void* stack_mem_ = nullptr;   // mmap'd region (guard page + stack)
+  std::size_t map_bytes_ = 0;
+  void* fiber_sp_ = nullptr;    // suspended fiber's stack pointer
+  void* return_sp_ = nullptr;   // where to go back to on yield/finish
+  EhGlobals eh_state_{};        // the fiber's exception globals while suspended
+  EhGlobals eh_return_state_{}; // the resumer's globals while the fiber runs
+  bool started_ = false;
+  bool finished_ = false;
+  bool running_ = false;
+};
+
+}  // namespace sim

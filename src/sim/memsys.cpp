@@ -1,0 +1,214 @@
+#include "sim/memsys.h"
+
+#include <cassert>
+
+namespace sim {
+
+MemSys::MemSys(const Config& cfg, Stats& stats) : cfg_(cfg), stats_(stats) {
+  l1_.resize(static_cast<std::size_t>(cfg.num_cpus));
+  for (auto& c : l1_) c.resize(static_cast<std::size_t>(cfg.l1_sets) * cfg.l1_assoc);
+}
+
+MemSys::Way* MemSys::find(int cpu, LineAddr line) {
+  auto& c = l1_[static_cast<std::size_t>(cpu)];
+  const std::size_t set = static_cast<std::size_t>(line % cfg_.l1_sets) * cfg_.l1_assoc;
+  for (std::size_t i = 0; i < cfg_.l1_assoc; ++i) {
+    Way& w = c[set + i];
+    if (w.state != St::I && w.line == line) return &w;
+  }
+  return nullptr;
+}
+
+MemSys::Way& MemSys::victim(int cpu, LineAddr line) {
+  auto& c = l1_[static_cast<std::size_t>(cpu)];
+  const std::size_t set = static_cast<std::size_t>(line % cfg_.l1_sets) * cfg_.l1_assoc;
+  Way* best = &c[set];
+  for (std::size_t i = 0; i < cfg_.l1_assoc; ++i) {
+    Way& w = c[set + i];
+    if (w.state == St::I) return w;
+    if (w.lru < best->lru) best = &w;
+  }
+  evict(cpu, *best);
+  return *best;
+}
+
+void MemSys::evict(int cpu, Way& w) {
+  if (w.state == St::I) return;
+  // Note: a TCC L1 must not evict speculatively written lines; real hardware
+  // would stall or overflow-serialize.  We evict silently and rely on the TM
+  // layer's write buffer for values; only timing fidelity is lost, and the
+  // benchmarks' write sets fit in L1 anyway.
+  auto it = dir_.find(w.line);
+  if (it != dir_.end()) {
+    it->second.sharers &= ~(1u << cpu);
+    if (it->second.owner == cpu) it->second.owner = -1;
+    if (it->second.sharers == 0 && it->second.owner < 0) dir_.erase(it);
+  }
+  w.state = St::I;
+  w.spec_dirty = false;
+}
+
+void MemSys::drop_from(int cpu, LineAddr line) {
+  if (Way* w = find(cpu, line)) {
+    w->state = St::I;
+    w->spec_dirty = false;
+  }
+  auto it = dir_.find(line);
+  if (it != dir_.end()) {
+    it->second.sharers &= ~(1u << cpu);
+    if (it->second.owner == cpu) it->second.owner = -1;
+    if (it->second.sharers == 0 && it->second.owner < 0) dir_.erase(it);
+  }
+}
+
+std::uint64_t MemSys::plain_load(int cpu, std::uintptr_t addr, std::uint64_t t) {
+  stats_.cpu(cpu).loads++;
+  const LineAddr line = line_of(addr);
+  if (Way* w = find(cpu, line)) {
+    w->lru = ++lru_tick_;
+    return t + cfg_.l1_hit_cycles;
+  }
+  stats_.cpu(cpu).l1_misses++;
+  Dir& d = dir_[line];
+  std::uint32_t occ = cfg_.bus_xfer_cycles;
+  if (d.owner >= 0 && d.owner != cpu) {
+    // Another CPU holds the line exclusively (E or M): downgrade it to S,
+    // paying a writeback only if the copy was dirty.
+    if (Way* ow = find(d.owner, line)) {
+      if (ow->state == St::M) occ += cfg_.writeback_cycles;
+      ow->state = St::S;
+    }
+    d.sharers |= (1u << d.owner);
+    d.owner = -1;
+  }
+  const std::uint64_t done = bus_.transact(t, cfg_.bus_arb_cycles, occ) + cfg_.l2_hit_cycles;
+  Way& w = victim(cpu, line);
+  w.line = line;
+  w.lru = ++lru_tick_;
+  w.spec_dirty = false;
+  w.state = (d.sharers == 0) ? St::E : St::S;
+  if (w.state == St::E) d.owner = cpu;
+  d.sharers |= (1u << cpu);
+  return done;
+}
+
+std::uint64_t MemSys::plain_store(int cpu, std::uintptr_t addr, std::uint64_t t) {
+  stats_.cpu(cpu).stores++;
+  const LineAddr line = line_of(addr);
+  Way* w = find(cpu, line);
+  if (w != nullptr && w->state == St::M) {
+    w->lru = ++lru_tick_;
+    return t + cfg_.l1_hit_cycles;
+  }
+  if (w != nullptr && w->state == St::E) {
+    w->state = St::M;
+    w->lru = ++lru_tick_;
+    dir_[line].owner = cpu;
+    return t + cfg_.l1_hit_cycles;
+  }
+  // Upgrade (S) or read-for-ownership (miss): invalidate all other copies.
+  // Copy the directory fields first: drop_from may erase the entry.
+  const Dir d = dir_[line];
+  std::uint32_t occ = (w != nullptr) ? 0 : cfg_.bus_xfer_cycles;
+  if (d.owner >= 0 && d.owner != cpu) {
+    if (Way* ow = find(d.owner, line); ow != nullptr && ow->state == St::M)
+      occ += cfg_.writeback_cycles;
+    drop_from(d.owner, line);
+  }
+  std::uint32_t sharers = d.sharers;
+  for (int c = 0; sharers != 0; ++c, sharers >>= 1) {
+    if ((sharers & 1u) != 0 && c != cpu) drop_from(c, line);
+  }
+  const bool was_miss = (w == nullptr);
+  if (was_miss) stats_.cpu(cpu).l1_misses++;
+  const std::uint64_t done =
+      bus_.transact(t, cfg_.bus_arb_cycles, occ) + (was_miss ? cfg_.l2_hit_cycles : 0);
+  Dir& d2 = dir_[line];  // drop_from may have erased the entry
+  if (w == nullptr) {
+    w = &victim(cpu, line);
+    w->line = line;
+  }
+  w->state = St::M;
+  w->spec_dirty = false;
+  w->lru = ++lru_tick_;
+  d2.sharers = (1u << cpu);
+  d2.owner = cpu;
+  return done;
+}
+
+std::uint64_t MemSys::tx_load(int cpu, std::uintptr_t addr, std::uint64_t t) {
+  stats_.cpu(cpu).loads++;
+  const LineAddr line = line_of(addr);
+  if (Way* w = find(cpu, line)) {
+    w->lru = ++lru_tick_;
+    return t + cfg_.l1_hit_cycles;
+  }
+  stats_.cpu(cpu).l1_misses++;
+  const std::uint64_t done =
+      bus_.transact(t, cfg_.bus_arb_cycles, cfg_.bus_xfer_cycles) + cfg_.l2_hit_cycles;
+  Way& w = victim(cpu, line);
+  w.line = line;
+  w.state = St::S;  // "valid" in TCC mode
+  w.spec_dirty = false;
+  w.lru = ++lru_tick_;
+  dir_[line].sharers |= (1u << cpu);
+  return done;
+}
+
+std::uint64_t MemSys::tx_store(int cpu, std::uintptr_t addr, std::uint64_t t) {
+  stats_.cpu(cpu).stores++;
+  const LineAddr line = line_of(addr);
+  Way* w = find(cpu, line);
+  std::uint64_t done = t + cfg_.l1_hit_cycles;
+  if (w == nullptr) {
+    // Write-allocate: fetch the line so commit can merge into it.
+    stats_.cpu(cpu).l1_misses++;
+    done = bus_.transact(t, cfg_.bus_arb_cycles, cfg_.bus_xfer_cycles) + cfg_.l2_hit_cycles;
+    w = &victim(cpu, line);
+    w->line = line;
+    w->state = St::S;
+    dir_[line].sharers |= (1u << cpu);
+  }
+  w->spec_dirty = true;  // buffered in cache, no bus traffic until commit
+  w->lru = ++lru_tick_;
+  return done;
+}
+
+std::uint64_t MemSys::tcc_commit(int cpu, std::size_t write_lines, std::uint64_t t) {
+  const std::uint32_t occ =
+      static_cast<std::uint32_t>(write_lines) * cfg_.commit_line_cycles;
+  std::uint64_t done = bus_.transact(t, cfg_.commit_arb_cycles, occ);
+  // Mark own written lines as committed (no longer speculative).
+  auto& c = l1_[static_cast<std::size_t>(cpu)];
+  for (auto& w : c) {
+    if (w.state != St::I && w.spec_dirty) w.spec_dirty = false;
+  }
+  return done;
+}
+
+void MemSys::invalidate_copies(int committer, LineAddr line) {
+  auto it = dir_.find(line);
+  if (it == dir_.end()) return;
+  std::uint32_t sharers = it->second.sharers;
+  for (int c = 0; sharers != 0; ++c, sharers >>= 1) {
+    if ((sharers & 1u) != 0 && c != committer) drop_from(c, line);
+  }
+}
+
+void MemSys::abort_clear_speculative(int cpu) {
+  auto& c = l1_[static_cast<std::size_t>(cpu)];
+  for (auto& w : c) {
+    if (w.state != St::I && w.spec_dirty) {
+      auto it = dir_.find(w.line);
+      if (it != dir_.end()) {
+        it->second.sharers &= ~(1u << cpu);
+        if (it->second.owner == cpu) it->second.owner = -1;
+        if (it->second.sharers == 0 && it->second.owner < 0) dir_.erase(it);
+      }
+      w.state = St::I;
+      w.spec_dirty = false;
+    }
+  }
+}
+
+}  // namespace sim

@@ -1,0 +1,105 @@
+// Timed memory hierarchy for the CMP simulator.
+//
+// Models per-CPU L1 caches, a shared bus (occupancy + queuing), and an
+// always-hitting shared L2.  Two access families are provided:
+//
+//  * plain_load / plain_store  - MESI snoopy coherence, used for the
+//    lock-based ("Java") runs and for non-speculative accesses; contended
+//    lines ping-pong between caches with realistic cost.
+//  * tx_load / tx_store / tcc_commit - TCC-style lazy transactional timing:
+//    speculative stores stay in the L1 (no bus traffic) and commits occupy
+//    the bus proportionally to the write-set size, exactly the cost model of
+//    the paper's simulated TCC CMP.
+//
+// Conflict *detection* for transactions is the TM layer's job (line-granular
+// read/write sets); MemSys only provides timing plus copy invalidation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace sim {
+
+using LineAddr = std::uint64_t;
+
+/// Converts a byte address to its cache-line address.
+constexpr LineAddr line_of(std::uintptr_t addr) {
+  return static_cast<LineAddr>(addr) >> Config::kLineShift;
+}
+
+/// Shared split-transaction bus: a single resource with queuing.
+class Bus {
+ public:
+  /// Requests the bus at time `t` for `occupancy` cycles after `arb` cycles
+  /// of arbitration; returns the completion time.
+  std::uint64_t transact(std::uint64_t t, std::uint32_t arb, std::uint32_t occupancy) {
+    std::uint64_t start = t + arb;
+    if (start < free_at_) start = free_at_;
+    free_at_ = start + occupancy;
+    busy_cycles_ += occupancy;
+    return free_at_;
+  }
+
+  std::uint64_t busy_cycles() const { return busy_cycles_; }
+
+ private:
+  std::uint64_t free_at_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+};
+
+class MemSys {
+ public:
+  MemSys(const Config& cfg, Stats& stats);
+
+  // --- MESI (lock-mode / non-speculative) accesses ---
+  std::uint64_t plain_load(int cpu, std::uintptr_t addr, std::uint64_t t);
+  std::uint64_t plain_store(int cpu, std::uintptr_t addr, std::uint64_t t);
+
+  // --- TCC (transactional-mode) accesses ---
+  std::uint64_t tx_load(int cpu, std::uintptr_t addr, std::uint64_t t);
+  std::uint64_t tx_store(int cpu, std::uintptr_t addr, std::uint64_t t);
+
+  /// Times a TCC commit broadcasting `write_lines` lines; returns completion.
+  std::uint64_t tcc_commit(int cpu, std::size_t write_lines, std::uint64_t t);
+
+  /// Drops every other CPU's cached copy of `line` (commit broadcast).
+  void invalidate_copies(int committer, LineAddr line);
+
+  /// Drops the CPU's speculatively written lines (transaction abort).
+  void abort_clear_speculative(int cpu);
+
+  const Bus& bus() const { return bus_; }
+
+ private:
+  enum class St : std::uint8_t { I, S, E, M };
+
+  struct Way {
+    LineAddr line = 0;
+    St state = St::I;
+    bool spec_dirty = false;  // TCC: holds speculative (uncommitted) data
+    std::uint64_t lru = 0;
+  };
+
+  struct Dir {
+    std::uint32_t sharers = 0;  // bitmask of CPUs with a copy
+    int owner = -1;             // CPU holding the line in E or M (MESI mode)
+  };
+
+  Way* find(int cpu, LineAddr line);
+  Way& victim(int cpu, LineAddr line);
+  void evict(int cpu, Way& w);
+  void drop_from(int cpu, LineAddr line);  // cache+dir removal
+
+  const Config& cfg_;
+  Stats& stats_;
+  Bus bus_;
+  std::vector<std::vector<Way>> l1_;  // [cpu][set*assoc + way]
+  std::unordered_map<LineAddr, Dir> dir_;
+  std::uint64_t lru_tick_ = 0;
+};
+
+}  // namespace sim

@@ -1,0 +1,53 @@
+// Simulation statistics: fixed per-CPU counters plus a named-counter map
+// that doubles as the TAPE-style conflict-profiling facility the paper used
+// to locate contended fields (Section 6.3 cites [3], TAPE).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+/// Counters kept for each virtual CPU.
+struct CpuStats {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t commits = 0;            ///< top-level transaction commits
+  std::uint64_t open_commits = 0;       ///< open-nested child commits
+  std::uint64_t violations = 0;         ///< top-level (parent) violations
+  std::uint64_t nested_violations = 0;  ///< violations confined to a nested frame
+  std::uint64_t semantic_violations = 0;///< program-directed aborts received
+  std::uint64_t lost_cycles = 0;        ///< cycles discarded by rollbacks
+  std::uint64_t lock_spin_cycles = 0;   ///< cycles spent spinning on sim::Mutex
+};
+
+/// Whole-simulation statistics.
+class Stats {
+ public:
+  explicit Stats(int num_cpus) : per_cpu_(static_cast<std::size_t>(num_cpus)) {}
+
+  CpuStats& cpu(int id) { return per_cpu_[static_cast<std::size_t>(id)]; }
+  const std::vector<CpuStats>& per_cpu() const { return per_cpu_; }
+
+  /// Aggregates a field over all CPUs, e.g. total(&CpuStats::violations).
+  template <class T>
+  std::uint64_t total(T CpuStats::* field) const {
+    std::uint64_t sum = 0;
+    for (const auto& c : per_cpu_) sum += static_cast<std::uint64_t>(c.*field);
+    return sum;
+  }
+
+  /// Free-form named counters (TAPE-style profiling: e.g. the per-object
+  /// violation sites that identified District.nextOrder in the paper).
+  void bump(const std::string& name, std::uint64_t by = 1) { named_[name] += by; }
+  const std::map<std::string, std::uint64_t>& named() const { return named_; }
+
+ private:
+  std::vector<CpuStats> per_cpu_;
+  std::map<std::string, std::uint64_t> named_;
+};
+
+}  // namespace sim

@@ -1,0 +1,56 @@
+// Contention management policies (paper Section 5.1): how long an aborted
+// transaction backs off before retrying.  The TM is committer-wins (TCC), so
+// the contention manager only shapes retry pacing; it cannot deadlock.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace atomos {
+
+/// Strategy interface: cycles of backoff before retry `attempt` on `cpu`.
+class ContentionManager {
+ public:
+  virtual ~ContentionManager() = default;
+  virtual std::uint64_t backoff_cycles(int cpu, int attempt) = 0;
+};
+
+/// Exponential backoff with deterministic per-CPU jitter (the default).
+class PoliteBackoff final : public ContentionManager {
+ public:
+  explicit PoliteBackoff(std::uint64_t base = 32, int max_shift = 8)
+      : base_(base), max_shift_(max_shift) {}
+
+  std::uint64_t backoff_cycles(int cpu, int attempt) override {
+    const int shift = std::min(attempt, max_shift_);
+    // xorshift-style deterministic jitter so CPUs desynchronize.
+    std::uint64_t x = state_ * 6364136223846793005ULL + 1442695040888963407ULL +
+                      static_cast<std::uint64_t>(cpu);
+    state_ = x;
+    const std::uint64_t window = base_ << shift;
+    return window + (x >> 33) % (window + 1);
+  }
+
+ private:
+  std::uint64_t base_;
+  int max_shift_;
+  std::uint64_t state_ = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Retry immediately (useful to demonstrate livelock-prone configurations).
+class AggressiveRetry final : public ContentionManager {
+ public:
+  std::uint64_t backoff_cycles(int, int) override { return 0; }
+};
+
+/// Karma-flavoured: repeatedly aborted transactions back off *less* so they
+/// eventually win against shorter transactions (priority via persistence).
+class KarmaBackoff final : public ContentionManager {
+ public:
+  std::uint64_t backoff_cycles(int, int attempt) override {
+    const int shift = std::max(0, 6 - attempt);  // shrink with each defeat
+    return 16ULL << shift;
+  }
+};
+
+}  // namespace atomos

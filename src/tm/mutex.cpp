@@ -1,0 +1,62 @@
+#include "tm/mutex.h"
+
+#include <stdexcept>
+
+namespace atomos {
+
+void Mutex::lock() {
+  if (!sim::Engine::in_worker()) return;
+  sim::Engine& e = sim::Engine::get();
+  const int me = e.cpu_id();
+  const auto addr = reinterpret_cast<std::uintptr_t>(&word_);
+  if (owner_ == me) throw std::logic_error("atomos::Mutex: recursive lock");
+
+  int spins = 0;
+  for (;;) {
+    // Test: read the lock word (timed; hits while the line stays shared).
+    e.advance_to(e.memsys().plain_load(me, addr, e.now()));
+    if (owner_ == -1) {
+      // Test-and-set: the RFO store is the atomic acquire point.
+      e.advance_to(e.memsys().plain_store(me, addr, e.now()));
+      if (owner_ == -1) {  // may have been taken while we paid the store
+        owner_ = me;
+        return;
+      }
+    }
+    if (++spins >= kSpinsBeforePark) {
+      waiters_.push_back(me);
+      e.block();
+      // Handoff: unlock() made us the owner before waking us.
+      if (owner_ == me) return;
+      spins = 0;  // spurious (should not happen); spin again
+    } else {
+      const std::uint64_t pause = 8u << (spins < 4 ? spins : 4);
+      e.stats().cpu(me).lock_spin_cycles += pause;
+      e.tick(pause);
+    }
+  }
+}
+
+void Mutex::unlock() {
+  if (!sim::Engine::in_worker()) return;
+  sim::Engine& e = sim::Engine::get();
+  const int me = e.cpu_id();
+  if (owner_ != me) throw std::logic_error("atomos::Mutex: unlock by non-owner");
+  const auto addr = reinterpret_cast<std::uintptr_t>(&word_);
+  e.advance_to(e.memsys().plain_store(me, addr, e.now()));
+  if (!waiters_.empty()) {
+    const int next = waiters_.front();
+    waiters_.pop_front();
+    owner_ = next;  // direct handoff: FIFO fairness
+    e.unblock(next, e.now());
+  } else {
+    owner_ = -1;
+  }
+}
+
+bool Mutex::held_by_me() const {
+  if (!sim::Engine::in_worker()) return true;  // setup code: uncontended
+  return owner_ == sim::Engine::get().cpu_id();
+}
+
+}  // namespace atomos

@@ -1,0 +1,53 @@
+// sim-timed mutual exclusion for lock-mode ("Java") runs.
+//
+// Models a test-and-test-and-set spinlock with a bounded spin phase followed
+// by FIFO parking — the flavour of adaptive monitor a JVM provides.  The
+// lock word has a real address, so acquiring a contended lock pays MESI
+// line ping-pong on the simulated bus, and the holder's critical section
+// serializes waiters in virtual time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/engine.h"
+
+namespace atomos {
+
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Acquires the lock, spinning then parking.  Outside a simulation this
+  /// is a no-op (setup code is single-threaded).
+  void lock();
+
+  /// Releases the lock, handing off to the oldest parked waiter if any.
+  void unlock();
+
+  /// True if the calling virtual CPU holds the lock.
+  bool held_by_me() const;
+
+ private:
+  static constexpr int kSpinsBeforePark = 16;
+
+  int owner_ = -1;                 // virtual CPU holding the lock
+  std::deque<int> waiters_;        // parked CPUs, FIFO
+  std::uint64_t word_ = 0;         // gives the lock a real, timed address
+};
+
+/// RAII guard (CP.20: use RAII, never plain lock()/unlock()).
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) : m_(m) { m_.lock(); }
+  ~LockGuard() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+}  // namespace atomos

@@ -1,0 +1,49 @@
+// TAPE-style conflict profiling (paper Section 6.3, citing Chafi et al.'s
+// Transactional Application Profiling Environment).
+//
+// Data structures may label the cache lines of their hot fields (via the
+// optional name argument of atomos::Shared); when profiling is enabled, every
+// violation a committer inflicts is attributed to the labelled line that
+// caused it, producing the "which object is the source of lost work" report
+// the paper's authors used to find District.nextOrder and friends.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "sim/memsys.h"
+
+namespace atomos {
+
+class Profile {
+ public:
+  static Profile& instance() {
+    static Profile p;
+    return p;
+  }
+
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Labels the lines covering [addr, addr+len) — call from object setup.
+  void note_range(std::uintptr_t addr, std::size_t len, const char* name) {
+    if (!enabled_) return;
+    const sim::LineAddr first = sim::line_of(addr);
+    const sim::LineAddr last = sim::line_of(addr + (len == 0 ? 0 : len - 1));
+    for (sim::LineAddr l = first; l <= last; ++l) lines_[l] = name;
+  }
+
+  /// The label covering `line`, or nullptr.
+  const char* find(sim::LineAddr line) const {
+    auto it = lines_.find(line);
+    return it == lines_.end() ? nullptr : it->second;
+  }
+
+  void clear() { lines_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::unordered_map<sim::LineAddr, const char*> lines_;
+};
+
+}  // namespace atomos

@@ -1,0 +1,517 @@
+#include "tm/runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "tm/profile.h"
+
+namespace atomos {
+namespace {
+
+thread_local Runtime* g_runtime = nullptr;
+
+}  // namespace
+
+using detail::Txn;
+
+Runtime::Runtime(sim::Engine& eng, std::unique_ptr<ContentionManager> cm)
+    : eng_(eng),
+      cm_(cm != nullptr ? std::move(cm) : std::make_unique<PoliteBackoff>()),
+      ctx_(static_cast<std::size_t>(eng.config().num_cpus)) {
+  if (g_runtime != nullptr)
+    throw std::logic_error("atomos::Runtime: another runtime is already active on this thread");
+  g_runtime = this;
+}
+
+Runtime::~Runtime() {
+  // Free anything still parked in purgatory (simulation is over).
+  for (auto& p : purgatory_) p.del(p.ptr);
+  g_runtime = nullptr;
+}
+
+Runtime& Runtime::current() {
+  if (g_runtime == nullptr) throw std::logic_error("atomos::Runtime: none active");
+  return *g_runtime;
+}
+
+bool Runtime::active() { return g_runtime != nullptr; }
+
+Txn* Runtime::bottom_of(int cpu) {
+  Txn* t = ctx(cpu).cur;
+  if (t == nullptr) return nullptr;
+  while (t->parent != nullptr) t = t->parent;
+  return t;
+}
+
+bool Runtime::in_txn() {
+  return sim::Engine::in_worker() && ctx(eng_.cpu_id()).cur != nullptr;
+}
+
+TxnId Runtime::self_id() {
+  Txn* b = bottom_of(eng_.cpu_id());
+  if (b == nullptr) throw std::logic_error("atomos::self_id: not inside a transaction");
+  return TxnId{b->cpu, b->incarnation};
+}
+
+bool Runtime::violate(const TxnId& victim) {
+  if (victim.cpu < 0) return false;
+  Txn* b = bottom_of(victim.cpu);
+  if (b == nullptr || b->incarnation != victim.incarnation) return false;
+  if (eng_.cpu_id() == victim.cpu) return false;  // never self-violate
+  b->kill_frame = 0;
+  b->kill_semantic = true;
+  return true;
+}
+
+Txn* Runtime::begin_txn(int cpu, bool open, int attempt) {
+  CpuCtx& c = ctx(cpu);
+  check_kill(cpu);  // do not start children under a doomed ancestor
+  auto* t = new Txn();
+  t->cpu = cpu;
+  t->open = open;
+  t->parent = c.cur;
+  assert(open || t->parent == nullptr);  // closed nesting uses frames
+  t->incarnation = c.next_incarnation++;
+  t->epoch = next_epoch_++;
+  t->start_clock = eng_.now();
+  t->attempt = attempt;
+  c.cur = t;
+  eng_.tick(eng_.config().txn_begin_cycles);
+  return t;
+}
+
+void Runtime::check_kill(int cpu) {
+  // Note: abort-handler (compensation) transactions are NOT exempt — they
+  // run detached (their doomed ancestors are unreachable from ctx.cur), and
+  // their own memory conflicts must retry like any other transaction's.
+  // Find the outermost flagged transaction: it dominates everything nested.
+  Txn* flagged = nullptr;
+  for (Txn* t = ctx(cpu).cur; t != nullptr; t = t->parent) {
+    if (t->kill_frame >= 0) flagged = t;
+  }
+  if (flagged == nullptr) return;
+  auto& st = eng_.stats().cpu(cpu);
+  if (flagged->kill_semantic) st.semantic_violations++;
+  if (!flagged->open && flagged->parent == nullptr && flagged->kill_frame == 0) {
+    st.violations++;
+  } else {
+    st.nested_violations++;
+  }
+  throw Violated{flagged, flagged->kill_frame};
+}
+
+void Runtime::clear_kill(Txn& t) {
+  t.kill_frame = -1;
+  t.kill_semantic = false;
+}
+
+// ---- frames (closed nesting) ----
+
+void Runtime::push_frame(Txn& t) {
+  detail::FrameMark m;
+  m.read_log = t.read_log.size();
+  m.writes = t.writes.size();
+  m.write_undo = t.write_undo.size();
+  m.commit_handlers = t.commit_handlers.size();
+  m.abort_handlers = t.abort_handlers.size();
+  m.allocs = t.allocs.size();
+  m.deletes = t.deletes.size();
+  t.marks.push_back(m);
+  t.depth++;
+}
+
+void Runtime::pop_frame_commit(Txn& t) {
+  // Reads taken by this frame now belong to the parent frame: a later
+  // conflict on them must restart the parent, not the (gone) child.
+  const detail::FrameMark& m = t.marks.back();
+  const int parent_depth = t.depth - 1;
+  for (std::size_t i = m.read_log; i < t.read_log.size(); ++i) {
+    auto it = t.read_frame.find(t.read_log[i].first);
+    if (it != t.read_frame.end() && it->second > parent_depth) it->second = parent_depth;
+  }
+  // Writes, handlers, allocs and deletes transfer positionally: they simply
+  // stay in the logs, now below the parent's high-water mark.
+  t.marks.pop_back();
+  t.depth--;
+}
+
+void Runtime::pop_frame_abort(Txn& t) {
+  const detail::FrameMark m = t.marks.back();
+  t.marks.pop_back();
+  t.depth--;
+
+  // Reverse-apply in-place write updates, then drop writes appended by the
+  // frame (order matters only for undo entries; see Txn docs).
+  for (std::size_t i = t.write_undo.size(); i > m.write_undo; --i) {
+    const auto& u = t.write_undo[i - 1];
+    t.writes[u.idx].val = u.prev_val;
+    t.writes[u.idx].size = u.prev_size;
+  }
+  t.write_undo.resize(m.write_undo);
+  for (std::size_t i = t.writes.size(); i > m.writes; --i) {
+    t.write_idx.erase(t.writes[i - 1].addr);
+  }
+  t.writes.resize(m.writes);
+
+  // Roll back read-set ownership changes (reverse order).
+  for (std::size_t i = t.read_log.size(); i > m.read_log; --i) {
+    const auto& [line, prev] = t.read_log[i - 1];
+    if (prev < 0) {
+      t.read_frame.erase(line);
+    } else {
+      t.read_frame[line] = prev;
+    }
+  }
+  t.read_log.resize(m.read_log);
+
+  // Handlers registered by the aborted frame are discarded (paper S4).
+  t.commit_handlers.resize(m.commit_handlers);
+  t.abort_handlers.resize(m.abort_handlers);
+
+  // Objects the frame allocated were never published: destroy them (LIFO).
+  for (std::size_t i = t.allocs.size(); i > m.allocs; --i) {
+    t.allocs[i - 1].del(t.allocs[i - 1].ptr);
+  }
+  t.allocs.resize(m.allocs);
+  t.deletes.resize(m.deletes);  // deferred deletes cancelled
+}
+
+// ---- handlers ----
+
+void Runtime::on_commit(std::function<void()> h) {
+  if (mode() == sim::Mode::kLock || !sim::Engine::in_worker()) {
+    h();  // no speculation: "commit" is immediate
+    return;
+  }
+  Txn* t = ctx(eng_.cpu_id()).cur;
+  if (t == nullptr) {
+    h();
+    return;
+  }
+  t->commit_handlers.push_back(std::move(h));
+}
+
+void Runtime::on_abort(std::function<void()> h) {
+  if (mode() == sim::Mode::kLock || !sim::Engine::in_worker()) return;  // cannot abort
+  Txn* t = ctx(eng_.cpu_id()).cur;
+  if (t == nullptr) return;
+  t->abort_handlers.push_back(std::move(h));
+}
+
+void Runtime::on_top_commit(std::function<void()> h, std::function<bool()> needs_token) {
+  if (mode() == sim::Mode::kLock || !sim::Engine::in_worker()) {
+    h();
+    return;
+  }
+  Txn* b = bottom_of(eng_.cpu_id());
+  if (b == nullptr) {
+    h();
+    return;
+  }
+  b->top_commit_handlers.push_back(
+      detail::Txn::TopCommitHandler{std::move(h), std::move(needs_token)});
+}
+
+void Runtime::on_top_abort(std::function<void()> h) {
+  if (mode() == sim::Mode::kLock || !sim::Engine::in_worker()) return;
+  Txn* b = bottom_of(eng_.cpu_id());
+  if (b == nullptr) return;
+  b->top_abort_handlers.push_back(std::move(h));
+}
+
+// ---- commit / abort ----
+
+void Runtime::acquire_token(int cpu) {
+  if (token_owner_ == cpu) {
+    token_depth_++;
+    return;
+  }
+  while (token_owner_ != -1) {
+    token_queue_.push_back(cpu);
+    eng_.block();
+    if (token_owner_ == cpu) {
+      token_depth_ = 1;
+      return;
+    }
+  }
+  token_owner_ = cpu;
+  token_depth_ = 1;
+}
+
+void Runtime::release_token(int cpu) {
+  assert(token_owner_ == cpu);
+  if (--token_depth_ > 0) return;
+  token_owner_ = -1;
+  if (!token_queue_.empty()) {
+    const int next = token_queue_.front();
+    token_queue_.pop_front();
+    token_owner_ = next;
+    token_depth_ = 0;  // the waiter sets its own depth on wake
+    eng_.unblock(next, eng_.now());
+  }
+}
+
+void Runtime::broadcast_and_apply(Txn& t) {
+  // Gather the write-set lines, time the commit broadcast, invalidate other
+  // caches' copies, flag conflicting readers, then apply buffered values.
+  std::unordered_set<sim::LineAddr> lines;
+  lines.reserve(t.writes.size());
+  for (const auto& w : t.writes) lines.insert(sim::line_of(w.addr));
+
+  eng_.advance_to(eng_.memsys().tcc_commit(t.cpu, lines.size(), eng_.now()));
+
+  const bool profiling = Profile::instance().enabled();
+  for (const sim::LineAddr line : lines) {
+    eng_.memsys().invalidate_copies(t.cpu, line);
+    for (int c = 0; c < eng_.config().num_cpus; ++c) {
+      if (c == t.cpu) continue;
+      for (Txn* v = ctx(c).cur; v != nullptr; v = v->parent) {
+        // Ancestors of the committer are exempt by construction (they are on
+        // another CPU here, so no exemption needed).
+        auto it = v->read_frame.find(line);
+        if (it == v->read_frame.end()) continue;
+        const int frame = it->second;
+        if (v->kill_frame < 0 || frame < v->kill_frame) v->kill_frame = frame;
+        if (profiling) {
+          const char* name = Profile::instance().find(line);
+          eng_.stats().bump(std::string("violations@") + (name != nullptr ? name : "<unnamed>"));
+        }
+      }
+    }
+  }
+  for (const auto& w : t.writes) {
+    std::memcpy(reinterpret_cast<void*>(w.addr), &w.val, w.size);
+  }
+}
+
+void Runtime::commit_txn(Txn* t) {
+  CpuCtx& c = ctx(t->cpu);
+  assert(c.cur == t && t->depth == 0);
+
+  check_kill(t->cpu);  // flagged while working: abort instead of committing
+
+  // An open child with a parent does not run handlers at its own commit:
+  // they transfer to the parent below (paper S4).
+  bool handlers_need_token = (t->parent == nullptr) && !t->commit_handlers.empty();
+  bool has_top_handlers = (t->parent == nullptr) && !t->top_commit_handlers.empty();
+  if (has_top_handlers && !handlers_need_token) {
+    for (const auto& th : t->top_commit_handlers) {
+      if (!th.needs_token || th.needs_token()) {
+        handlers_need_token = true;
+        break;
+      }
+    }
+  }
+  const bool runs_handlers = handlers_need_token;
+  const bool trivial = t->writes.empty() && !runs_handlers && t->deletes.empty();
+  if (trivial && t->open && token_owner_ != -1 && token_owner_ != t->cpu) {
+    // A read-only open child must not slip past an in-progress commit: its
+    // semantic lock acquisitions have to be ordered either before that
+    // committer's conflict detection or after its broadcast.  Waiting for
+    // the token gives exactly that: if the commit wrote what we read, the
+    // broadcast flags us while we wait and check_kill unwinds us.
+    acquire_token(t->cpu);
+    try {
+      check_kill(t->cpu);
+    } catch (...) {
+      release_token(t->cpu);
+      throw;
+    }
+    release_token(t->cpu);
+  }
+  if (!trivial) {
+    acquire_token(t->cpu);
+    try {
+      check_kill(t->cpu);  // last chance: flagged while queueing for the token
+      // Run commit handlers inside the token, each as a closed-nested
+      // frame; they may register further commit handlers (run too).
+      if (runs_handlers) {
+        for (std::size_t i = 0; i < t->commit_handlers.size(); ++i) {
+          auto h = std::move(t->commit_handlers[i]);
+          run_closed_frame(*t, [&h] { h(); });
+        }
+        for (std::size_t i = 0; i < t->top_commit_handlers.size(); ++i) {
+          auto h = std::move(t->top_commit_handlers[i].fn);
+          run_closed_frame(*t, [&h] { h(); });
+        }
+      }
+      broadcast_and_apply(*t);
+    } catch (...) {
+      release_token(t->cpu);
+      throw;
+    }
+    // Deferred deletes take effect now; reclaim once concurrent transactions
+    // that may still hold host pointers have drained.
+    for (const auto& d : t->deletes) {
+      purgatory_.push_back(Purgatory{next_epoch_++, d.ptr, d.del});
+    }
+    release_token(t->cpu);
+  }
+
+  // Token-free cleanup path: every top handler declared itself pure
+  // cleanup and there is nothing to broadcast.
+  if (trivial && has_top_handlers) {
+    for (std::size_t i = 0; i < t->top_commit_handlers.size(); ++i) {
+      auto h = std::move(t->top_commit_handlers[i].fn);
+      h();
+    }
+  }
+
+  if (!t->open) {
+    eng_.stats().cpu(t->cpu).commits++;
+  }
+  if (t->open) {
+    eng_.stats().cpu(t->cpu).open_commits++;
+    if (t->parent != nullptr) {
+      // Open semantics: the child's handlers move to the parent; its read
+      // and write dependencies are already globally committed / discarded.
+      for (auto& h : t->commit_handlers) t->parent->commit_handlers.push_back(std::move(h));
+      for (auto& h : t->abort_handlers) t->parent->abort_handlers.push_back(std::move(h));
+    }
+  }
+  c.cur = t->parent;
+  delete t;
+  if (!purgatory_.empty()) collect_garbage();
+}
+
+void Runtime::abort_txn(Txn* t) {
+  CpuCtx& c = ctx(t->cpu);
+  // Unwind any frames the exception path has not popped (it pops all of its
+  // own; this is belt-and-braces for user exceptions thrown mid-frame).
+  while (t->depth > 0) pop_frame_abort(*t);
+
+  eng_.memsys().abort_clear_speculative(t->cpu);
+  auto& st = eng_.stats().cpu(t->cpu);
+  st.lost_cycles += eng_.now() - t->start_clock;
+
+  // Destroy unpublished allocations (LIFO); cancel deferred deletes.
+  for (std::size_t i = t->allocs.size(); i > 0; --i) t->allocs[i - 1].del(t->allocs[i - 1].ptr);
+  t->allocs.clear();
+  t->deletes.clear();
+
+  // Pop before running compensation: abort handlers run as *detached* open
+  // transactions so a doomed enclosing transaction cannot re-kill them.
+  c.cur = t->parent;
+  for (auto& h : t->top_abort_handlers) t->abort_handlers.push_back(std::move(h));
+  if (!t->abort_handlers.empty()) {
+    Txn* saved = c.cur;
+    c.cur = nullptr;
+    const bool saved_flag = c.in_abort_handlers;
+    c.in_abort_handlers = true;
+    try {
+      for (std::size_t i = t->abort_handlers.size(); i > 0; --i) {
+        auto h = std::move(t->abort_handlers[i - 1]);
+        run_txn(t->cpu, /*open=*/true, [&h] { h(); });
+      }
+    } catch (...) {
+      c.in_abort_handlers = saved_flag;
+      c.cur = saved;
+      delete t;
+      throw;
+    }
+    c.in_abort_handlers = saved_flag;
+    c.cur = saved;
+  }
+
+  const std::uint64_t penalty = eng_.config().violation_cycles +
+                                cm_->backoff_cycles(t->cpu, t->attempt);
+  delete t;
+  eng_.tick(penalty);
+}
+
+void Runtime::collect_garbage() {
+  std::uint64_t min_active = next_epoch_;
+  for (int c = 0; c < eng_.config().num_cpus; ++c) {
+    Txn* b = bottom_of(c);
+    if (b != nullptr && b->epoch < min_active) min_active = b->epoch;
+  }
+  while (!purgatory_.empty() && purgatory_.front().epoch < min_active) {
+    purgatory_.front().del(purgatory_.front().ptr);
+    purgatory_.pop_front();
+  }
+}
+
+// ---- memory access ----
+
+void Runtime::tm_read(std::uintptr_t addr, void* out, std::uint32_t size,
+                      const void* committed) {
+  const int cpu = eng_.cpu_id();
+  check_kill(cpu);
+  eng_.advance_to(eng_.memsys().tx_load(cpu, addr, eng_.now()));
+  Txn* t = ctx(cpu).cur;
+  if (t == nullptr) {  // non-transactional read in Tcc mode: committed value
+    std::memcpy(out, committed, size);
+    return;
+  }
+  // Track the read line in the innermost transaction at the current frame.
+  const sim::LineAddr line = sim::line_of(addr);
+  auto [it, inserted] = t->read_frame.try_emplace(line, t->depth);
+  if (inserted) {
+    t->read_log.emplace_back(line, -1);
+  } else if (it->second > t->depth) {
+    t->read_log.emplace_back(line, it->second);
+    it->second = t->depth;
+  }
+  // Read-own-writes: innermost buffered value wins, walking out through
+  // enclosing (open-nesting) ancestors.
+  for (Txn* s = t; s != nullptr; s = s->parent) {
+    auto w = s->write_idx.find(addr);
+    if (w != s->write_idx.end()) {
+      std::memcpy(out, &s->writes[w->second].val, size);
+      return;
+    }
+  }
+  std::memcpy(out, committed, size);
+}
+
+void Runtime::tm_write(std::uintptr_t addr, const void* in, std::uint32_t size,
+                       void* committed) {
+  const int cpu = eng_.cpu_id();
+  check_kill(cpu);
+  eng_.advance_to(eng_.memsys().tx_store(cpu, addr, eng_.now()));
+  Txn* t = ctx(cpu).cur;
+  if (t == nullptr) {
+    // Non-transactional store in Tcc mode: commits instantly; flag any
+    // in-flight reader of the line (mini TCC commit).
+    std::memcpy(committed, in, size);
+    const sim::LineAddr line = sim::line_of(addr);
+    eng_.memsys().invalidate_copies(cpu, line);
+    for (int c = 0; c < eng_.config().num_cpus; ++c) {
+      if (c == cpu) continue;
+      for (Txn* v = ctx(c).cur; v != nullptr; v = v->parent) {
+        auto it = v->read_frame.find(line);
+        if (it == v->read_frame.end()) continue;
+        if (v->kill_frame < 0 || it->second < v->kill_frame) v->kill_frame = it->second;
+      }
+    }
+    return;
+  }
+  std::uint64_t val = 0;
+  std::memcpy(&val, in, size);
+  auto [it, inserted] = t->write_idx.try_emplace(addr, t->writes.size());
+  if (inserted) {
+    t->writes.push_back(detail::WriteEntry{addr, val, size});
+  } else {
+    detail::WriteEntry& e = t->writes[it->second];
+    t->write_undo.push_back(detail::Txn::WriteUndo{it->second, e.val, e.size});
+    e.val = val;
+    e.size = size;
+  }
+}
+
+// ---- transactional allocation ----
+
+void Runtime::track_alloc(void* p, void (*del)(void*)) {
+  Txn* t = ctx(eng_.cpu_id()).cur;
+  assert(t != nullptr);
+  t->allocs.push_back(Txn::Resource{p, del});
+}
+
+void Runtime::track_delete(void* p, void (*del)(void*)) {
+  Txn* t = ctx(eng_.cpu_id()).cur;
+  assert(t != nullptr);
+  t->deletes.push_back(Txn::Resource{p, del});
+}
+
+}  // namespace atomos

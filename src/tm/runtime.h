@@ -1,0 +1,375 @@
+// Atomos/TCC-style transactional memory runtime on top of the CMP simulator.
+//
+// Provides the transactional semantics the paper enumerates in Section 4 as
+// prerequisites for transactional collection classes:
+//
+//  * closed-nested transactions with partial rollback (frames),
+//  * open-nested transactions (child commits before the parent; its read and
+//    write dependencies are NOT merged into the parent),
+//  * commit and abort handlers registered at the current nesting level
+//    (moved to the parent on nested commit, discarded on nested abort;
+//    commit handlers run inside the commit, abort handlers after rollback),
+//  * program-directed transaction abort: a transaction can obtain a stable
+//    TxnId for its top-level transaction, store it in a semantic lock, and a
+//    later committer can violate() that id.
+//
+// Conflict detection is lazy (TCC): speculative writes are buffered; at
+// commit the writer acquires the global commit token, broadcasts its write
+// set, and flags every other in-flight transaction that has read one of the
+// written cache lines.  Flagged transactions unwind at their next
+// transactional operation and retry (the whole transaction, or just the
+// nested frame / open-nested child whose read caused the conflict).
+// Because every commit holds the token, commit handlers can never be
+// violated while they run — the TCC property the paper relies on.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.h"
+#include "tm/contention.h"
+
+namespace atomos {
+
+/// Identifies one *incarnation* of a top-level transaction, for
+/// program-directed abort (semantic locks store TxnIds as owners).
+struct TxnId {
+  int cpu = -1;
+  std::uint64_t incarnation = 0;
+
+  friend bool operator==(const TxnId&, const TxnId&) = default;
+};
+
+/// Unwinds a violated transaction (or one of its frames) to its retry point.
+/// Internal control flow; user code must never swallow it.
+struct Violated {
+  const void* txn;  // which transaction must retry
+  int frame;        // which of its frames must retry (0 = whole transaction)
+};
+
+namespace detail {
+
+struct WriteEntry {
+  std::uintptr_t addr;
+  std::uint64_t val;
+  std::uint32_t size;
+};
+
+struct FrameMark {
+  std::size_t read_log = 0;
+  std::size_t writes = 0;
+  std::size_t write_undo = 0;
+  std::size_t commit_handlers = 0;
+  std::size_t abort_handlers = 0;
+  std::size_t allocs = 0;
+  std::size_t deletes = 0;
+};
+
+/// One transaction: a top-level transaction or an open-nested child.
+/// Closed nesting is represented as frames *within* one Txn; all frame
+/// rollback is positional (log truncation to the frame's FrameMark).
+struct Txn {
+  int cpu = -1;
+  std::uint64_t incarnation = 0;
+  std::uint64_t epoch = 0;        // global begin order, for safe reclamation
+  bool open = false;              // an open-nested child
+  Txn* parent = nullptr;          // enclosing transaction (open-nesting link)
+  int depth = 0;                  // current closed-nesting frame depth
+  std::uint64_t start_clock = 0;  // for lost-cycle accounting
+  int attempt = 0;
+
+  // Pending violation: frame that must restart (-1 = none).
+  int kill_frame = -1;
+  bool kill_semantic = false;
+
+  // Read set: line -> shallowest frame that read it, with an undo log.
+  std::unordered_map<sim::LineAddr, int> read_frame;
+  std::vector<std::pair<sim::LineAddr, int>> read_log;  // (line, prev frame or -1)
+
+  // Redo-log write set.  Entries are unique per address (repeat writes are
+  // in-place updates recorded in write_undo), so frame rollback is
+  // "reverse-apply write_undo, then truncate writes".
+  std::unordered_map<std::uintptr_t, std::size_t> write_idx;
+  std::vector<WriteEntry> writes;
+  struct WriteUndo {
+    std::size_t idx;
+    std::uint64_t prev_val;
+    std::uint32_t prev_size;
+  };
+  std::vector<WriteUndo> write_undo;
+
+  std::vector<std::function<void()>> commit_handlers;
+  std::vector<std::function<void()>> abort_handlers;
+
+  // Handlers pinned to the whole (top-level) transaction: immune to
+  // closed-frame truncation.  This is where the collection classes register
+  // their single commit/abort handler pair (paper S5's "only one handler,
+  // registered on first use"): the open-nested operations they compensate
+  // are themselves immune to frame rollback, so the handlers must be too.
+  //
+  // A top commit handler may carry a needs_token predicate: when every
+  // registered handler reports false (e.g. a read-only collection commit
+  // whose handler only RELEASES semantic locks) the commit skips the token
+  // entirely — releasing read intents is monotone-safe, and this keeps
+  // read-dominated workloads from serializing on commit arbitration.
+  struct TopCommitHandler {
+    std::function<void()> fn;
+    std::function<bool()> needs_token;  // null => always needs the token
+  };
+  std::vector<TopCommitHandler> top_commit_handlers;
+  std::vector<std::function<void()>> top_abort_handlers;
+
+  // Transactional allocation: news are deleted on abort, deletes deferred
+  // to commit.
+  struct Resource {
+    void* ptr;
+    void (*del)(void*);
+  };
+  std::vector<Resource> allocs;
+  std::vector<Resource> deletes;
+
+  std::vector<FrameMark> marks;  // one per open closed-nested frame
+};
+
+}  // namespace detail
+
+/// Per-simulation TM runtime.  Construct one around an Engine before
+/// spawning workers; workers then use the free functions at the bottom of
+/// this header (or the members) for all transactional work.
+class Runtime {
+ public:
+  explicit Runtime(sim::Engine& eng,
+                   std::unique_ptr<ContentionManager> cm = nullptr);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// The runtime attached to the engine currently running on this thread.
+  static Runtime& current();
+  static bool active();
+
+  sim::Engine& engine() { return eng_; }
+  sim::Mode mode() const { return eng_.config().mode; }
+
+  // ---- transactional region API ----
+
+  /// Runs `fn` as a transaction: top-level if none is active on this CPU,
+  /// otherwise a closed-nested frame with partial rollback.  Retries on
+  /// violation.  In Mode::kLock this is a plain call.
+  template <class F>
+  auto atomically(F&& fn) {
+    if (mode() == sim::Mode::kLock || !sim::Engine::in_worker()) return fn();
+    const int cpu = eng_.cpu_id();
+    detail::Txn* t = ctx(cpu).cur;
+    if (t == nullptr) return run_txn(cpu, /*open=*/false, std::forward<F>(fn));
+    return run_closed_frame(*t, std::forward<F>(fn));
+  }
+
+  /// Runs `fn` as an open-nested child transaction: it commits (and becomes
+  /// visible to everyone) when `fn` returns, even though the parent is still
+  /// speculative; the parent keeps no memory dependency on what `fn` read.
+  /// Outside any transaction this is simply a small top-level transaction.
+  template <class F>
+  auto open_atomically(F&& fn) {
+    if (mode() == sim::Mode::kLock || !sim::Engine::in_worker()) return fn();
+    return run_txn(eng_.cpu_id(), /*open=*/true, std::forward<F>(fn));
+  }
+
+  /// Registers a handler to run if the current transaction commits (at
+  /// commit, holding the commit token, as a closed-nested frame).
+  void on_commit(std::function<void()> h);
+  /// Registers a handler to run if the current transaction aborts (after
+  /// rollback, as an independent open transaction).
+  void on_abort(std::function<void()> h);
+
+  /// Like on_commit/on_abort, but pinned to the *top-level* transaction of
+  /// the calling CPU: the registration survives closed-frame and open-child
+  /// rollback (matching the open-nested state those handlers compensate).
+  /// `needs_token` (optional): evaluated at commit; when every top handler
+  /// reports false and the transaction wrote nothing, the handler runs
+  /// outside the commit token (safe only for pure cleanup such as releasing
+  /// semantic read locks; the handler must not write Shared memory).
+  void on_top_commit(std::function<void()> h, std::function<bool()> needs_token = nullptr);
+  void on_top_abort(std::function<void()> h);
+
+  /// Stable id of the current *top-level* transaction incarnation (for use
+  /// as a semantic-lock owner).  Must be called inside a transaction.
+  TxnId self_id();
+
+  /// Program-directed abort of another transaction.  Returns true if the
+  /// victim incarnation was still running and is now doomed.
+  bool violate(const TxnId& victim);
+
+  /// True if the calling CPU is inside any transaction.
+  bool in_txn();
+
+  // ---- memory access (used by Shared<T>; Tcc mode only) ----
+  void tm_read(std::uintptr_t addr, void* out, std::uint32_t size, const void* committed);
+  void tm_write(std::uintptr_t addr, const void* in, std::uint32_t size, void* committed);
+
+  // ---- transactional allocation (used by tx_new / tx_delete) ----
+  void track_alloc(void* p, void (*del)(void*));
+  void track_delete(void* p, void (*del)(void*));
+
+  /// Charges `cycles` of CPI-1.0 compute to the current CPU.  Also polls
+  /// for a pending violation, so a doomed transaction stops wasting work.
+  void work(std::uint64_t cycles) {
+    eng_.tick(cycles);
+    if (mode() == sim::Mode::kTcc && ctx(eng_.cpu_id()).cur != nullptr) check_kill(eng_.cpu_id());
+  }
+
+ private:
+  struct CpuCtx {
+    detail::Txn* cur = nullptr;  // innermost txn (open-nesting stack tip)
+    std::uint64_t next_incarnation = 1;
+    bool in_abort_handlers = false;  // this CPU is running compensation
+  };
+
+  CpuCtx& ctx(int cpu) { return ctx_[static_cast<std::size_t>(cpu)]; }
+  detail::Txn* bottom_of(int cpu);  // outermost active txn on cpu (or null)
+
+  // Non-template machinery (runtime.cpp).
+  detail::Txn* begin_txn(int cpu, bool open, int attempt);
+  void commit_txn(detail::Txn* t);  // may throw Violated (flag seen at commit)
+  void abort_txn(detail::Txn* t);   // rollback + abort handlers + backoff
+  void push_frame(detail::Txn& t);
+  void pop_frame_commit(detail::Txn& t);
+  void pop_frame_abort(detail::Txn& t);
+  void clear_kill(detail::Txn& t);
+  void check_kill(int cpu);  // throws Violated if any txn on cpu is flagged
+  void acquire_token(int cpu);
+  void release_token(int cpu);
+  void broadcast_and_apply(detail::Txn& t);
+  void collect_garbage();
+
+  template <class F>
+  auto run_txn(int cpu, bool open, F&& fn) {
+    for (int attempt = 0;; ++attempt) {
+      detail::Txn* t = begin_txn(cpu, open, attempt);
+      try {
+        if constexpr (std::is_void_v<decltype(fn())>) {
+          fn();
+          commit_txn(t);
+          return;
+        } else {
+          auto result = fn();
+          commit_txn(t);
+          return result;
+        }
+      } catch (const Violated& v) {
+        const bool mine = (v.txn == t);
+        abort_txn(t);
+        if (!mine) throw;  // an enclosing transaction is doomed
+      } catch (...) {
+        abort_txn(t);  // user exception: abort, then propagate
+        throw;
+      }
+    }
+  }
+
+  template <class F>
+  auto run_closed_frame(detail::Txn& t, F&& fn) {
+    for (;;) {
+      push_frame(t);
+      const int my_depth = t.depth;
+      try {
+        if constexpr (std::is_void_v<decltype(fn())>) {
+          fn();
+          pop_frame_commit(t);
+          return;
+        } else {
+          auto result = fn();
+          pop_frame_commit(t);
+          return result;
+        }
+      } catch (const Violated& v) {
+        pop_frame_abort(t);
+        if (v.txn == &t && v.frame == my_depth) {
+          clear_kill(t);
+          continue;  // retry just this frame
+        }
+        throw;
+      } catch (...) {
+        pop_frame_abort(t);
+        throw;
+      }
+    }
+  }
+
+  sim::Engine& eng_;
+  std::unique_ptr<ContentionManager> cm_;
+  std::vector<CpuCtx> ctx_;
+
+  // Global commit token (TCC commit arbitration): serializes commits and
+  // makes commit handlers immune to violation while they run.
+  int token_owner_ = -1;
+  int token_depth_ = 0;
+  std::deque<int> token_queue_;
+
+  // Deferred reclamation: objects deleted at commit are freed only once
+  // every transaction that might still hold a host pointer has finished.
+  struct Purgatory {
+    std::uint64_t epoch;
+    void* ptr;
+    void (*del)(void*);
+  };
+  std::deque<Purgatory> purgatory_;
+  std::uint64_t next_epoch_ = 1;
+};
+
+// ---- Free-function convenience wrappers (the public face of the API) ----
+
+/// See Runtime::atomically.
+template <class F>
+auto atomically(F&& fn) {
+  return Runtime::current().atomically(std::forward<F>(fn));
+}
+
+/// See Runtime::open_atomically.
+template <class F>
+auto open_atomically(F&& fn) {
+  return Runtime::current().open_atomically(std::forward<F>(fn));
+}
+
+inline void on_commit(std::function<void()> h) { Runtime::current().on_commit(std::move(h)); }
+inline void on_abort(std::function<void()> h) { Runtime::current().on_abort(std::move(h)); }
+inline TxnId self_id() { return Runtime::current().self_id(); }
+inline bool violate(const TxnId& victim) { return Runtime::current().violate(victim); }
+inline bool in_txn() { return Runtime::active() && Runtime::current().in_txn(); }
+inline void work(std::uint64_t cycles) { Runtime::current().work(cycles); }
+
+/// Allocates a T inside (or outside) a transaction.  If the allocating
+/// transaction aborts, the object is destroyed; nothing else ever saw it,
+/// because speculative writes that would have published it are discarded.
+template <class T, class... Args>
+T* tx_new(Args&&... args) {
+  T* p = new T(std::forward<Args>(args)...);
+  if (Runtime::active() && Runtime::current().in_txn()) {
+    Runtime::current().track_alloc(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+  return p;
+}
+
+/// Deletes a T transactionally: the delete takes effect only if the
+/// transaction commits, and actual reclamation is deferred until every
+/// transaction that might still traverse the object has finished.
+template <class T>
+void tx_delete(T* p) {
+  if (p == nullptr) return;
+  if (Runtime::active() && Runtime::current().in_txn()) {
+    Runtime::current().track_delete(p, [](void* q) { delete static_cast<T*>(q); });
+  } else {
+    delete p;
+  }
+}
+
+}  // namespace atomos

@@ -1,0 +1,95 @@
+// atomos::Shared<T> — a transactional memory cell.
+//
+// Every piece of state that is shared between virtual CPUs must live in a
+// Shared<T>.  Accesses are routed by execution mode:
+//
+//  * outside a simulation (setup/teardown code): raw, untimed access;
+//  * Mode::kLock: direct access with MESI-timed loads/stores (this is what
+//    the paper's lock-based "Java" runs see);
+//  * Mode::kTcc inside a transaction: the read joins the transaction's
+//    read set and the write is buffered until commit — exactly how a field
+//    access of a plain java.util collection behaves under Atomos.
+//
+// T must be trivially copyable and at most 8 bytes (words): pointers,
+// integers, bools, small enums.  Aggregate state is built from nodes that
+// contain Shared fields (see src/jstd).  The cell's *address* is its
+// identity for conflict detection, so Shared is neither copyable nor
+// movable; false sharing between neighbouring cells on one cache line is
+// deliberately modelled, as on the paper's HTM.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "sim/engine.h"
+#include "tm/profile.h"
+#include "tm/runtime.h"
+
+namespace atomos {
+
+template <class T>
+class Shared {
+  static_assert(std::is_trivially_copyable_v<T>, "Shared<T> requires trivially copyable T");
+  static_assert(sizeof(T) <= 8, "Shared<T> holds at most a machine word");
+
+ public:
+  Shared() : v_{} {}
+
+  /// `name` (optional) labels this cell's cache line for TAPE-style
+  /// conflict profiling; pass a string with static storage duration.
+  explicit Shared(T v, const char* name = nullptr) : v_(v) {
+    if (name != nullptr) {
+      Profile::instance().note_range(reinterpret_cast<std::uintptr_t>(&v_), sizeof(T), name);
+    }
+  }
+
+  Shared(const Shared&) = delete;
+  Shared& operator=(const Shared&) = delete;
+
+  /// Transactionally reads the cell.
+  T get() const {
+    if (!sim::Engine::in_worker()) return v_;
+    sim::Engine& e = sim::Engine::get();
+    const auto addr = reinterpret_cast<std::uintptr_t>(&v_);
+    if (e.config().mode == sim::Mode::kLock) {
+      e.advance_to(e.memsys().plain_load(e.cpu_id(), addr, e.now()));
+      return v_;
+    }
+    T out;
+    Runtime::current().tm_read(addr, &out, sizeof(T), &v_);
+    return out;
+  }
+
+  /// Transactionally writes the cell.
+  void set(const T& v) {
+    if (!sim::Engine::in_worker()) {
+      v_ = v;
+      return;
+    }
+    sim::Engine& e = sim::Engine::get();
+    const auto addr = reinterpret_cast<std::uintptr_t>(&v_);
+    if (e.config().mode == sim::Mode::kLock) {
+      e.advance_to(e.memsys().plain_store(e.cpu_id(), addr, e.now()));
+      v_ = v;
+      return;
+    }
+    Runtime::current().tm_write(addr, &v, sizeof(T), &v_);
+  }
+
+  /// Raw access to the committed value — only for assertions/test oracles
+  /// and setup code; never call from workload code during a simulation.
+  const T& unsafe_peek() const { return v_; }
+
+  // Sugar so Shared fields read naturally in data-structure code.
+  operator T() const { return get(); }         // NOLINT(google-explicit-constructor)
+  Shared& operator=(const T& v) {
+    set(v);
+    return *this;
+  }
+
+ private:
+  T v_;
+};
+
+}  // namespace atomos

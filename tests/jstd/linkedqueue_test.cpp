@@ -1,0 +1,64 @@
+// jstd::LinkedQueue: FIFO behaviour, peek/poll semantics, and a randomized
+// model test against std::deque.
+#include "jstd/linkedqueue.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <random>
+
+namespace jstd {
+namespace {
+
+TEST(LinkedQueueTest, FifoOrder) {
+  LinkedQueue<long> q;
+  EXPECT_TRUE(q.is_empty());
+  EXPECT_EQ(q.poll(), std::nullopt);
+  EXPECT_EQ(q.peek(), std::nullopt);
+  for (long i = 0; i < 10; ++i) q.put(i);
+  EXPECT_EQ(q.size(), 10);
+  for (long i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.peek(), i);
+    EXPECT_EQ(q.poll(), i);
+  }
+  EXPECT_TRUE(q.is_empty());
+}
+
+TEST(LinkedQueueTest, InterleavedPutPoll) {
+  LinkedQueue<long> q;
+  q.put(1);
+  q.put(2);
+  EXPECT_EQ(q.poll(), 1);
+  q.put(3);
+  EXPECT_EQ(q.poll(), 2);
+  EXPECT_EQ(q.poll(), 3);
+  EXPECT_EQ(q.poll(), std::nullopt);
+  q.put(4);  // reusable after drain
+  EXPECT_EQ(q.poll(), 4);
+}
+
+class LinkedQueueModelTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LinkedQueueModelTest, MatchesStdDeque) {
+  std::mt19937 rng(GetParam());
+  LinkedQueue<long> q;
+  std::deque<long> oracle;
+  for (int step = 0; step < 5000; ++step) {
+    if (rng() % 2 == 0) {
+      const long v = static_cast<long>(rng());
+      q.put(v);
+      oracle.push_back(v);
+    } else {
+      auto expect = oracle.empty() ? std::nullopt : std::optional<long>(oracle.front());
+      EXPECT_EQ(q.peek(), expect);
+      EXPECT_EQ(q.poll(), expect);
+      if (!oracle.empty()) oracle.pop_front();
+    }
+    EXPECT_EQ(q.size(), static_cast<long>(oracle.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkedQueueModelTest, ::testing::Range(1u, 6u));
+
+}  // namespace
+}  // namespace jstd

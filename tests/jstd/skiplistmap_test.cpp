@@ -1,0 +1,172 @@
+// jstd::SkipListMap: SortedMap contract tests, randomized model checking
+// against std::map, and interchangeability with TreeMap under the
+// TransactionalSortedMap wrapper.
+#include "jstd/skiplistmap.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "core/txsortedmap.h"
+
+namespace jstd {
+namespace {
+
+TEST(SkipListMapTest, BasicSortedMapContract) {
+  SkipListMap<long, long> m;
+  EXPECT_EQ(m.size(), 0);
+  EXPECT_EQ(m.first_key(), std::nullopt);
+  EXPECT_EQ(m.last_key(), std::nullopt);
+  for (long k : {5L, 1L, 9L, 3L, 7L}) EXPECT_EQ(m.put(k, k * 10), std::nullopt);
+  EXPECT_EQ(m.size(), 5);
+  EXPECT_EQ(m.first_key(), 1);
+  EXPECT_EQ(m.last_key(), 9);
+  EXPECT_EQ(m.get(3), 30);
+  EXPECT_EQ(m.put(3, 31), 30);
+  EXPECT_EQ(m.remove(9), 90);
+  EXPECT_EQ(m.last_key(), 7);
+  EXPECT_EQ(m.last_key_before(7), 5);
+  EXPECT_EQ(m.last_key_before(1), std::nullopt);
+  std::vector<long> keys;
+  for (auto it = m.iterator(); it->has_next();) keys.push_back(it->next().first);
+  EXPECT_EQ(keys, (std::vector<long>{1, 3, 5, 7}));
+}
+
+TEST(SkipListMapTest, RangeIteratorHalfOpen) {
+  SkipListMap<long, long> m;
+  for (long k = 0; k < 50; k += 5) m.put(k, k);
+  std::vector<long> keys;
+  for (auto it = m.range_iterator(10L, 30L); it->has_next();) keys.push_back(it->next().first);
+  EXPECT_EQ(keys, (std::vector<long>{10, 15, 20, 25}));
+}
+
+class SkipListModelTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SkipListModelTest, MatchesStdMap) {
+  std::mt19937 rng(GetParam());
+  SkipListMap<long, long> m;
+  std::map<long, long> oracle;
+  for (int step = 0; step < 2500; ++step) {
+    const long key = static_cast<long>(rng() % 250);
+    switch (rng() % 5) {
+      case 0:
+      case 1: {
+        const long v = static_cast<long>(rng());
+        auto prev = oracle.find(key);
+        auto expect = prev == oracle.end() ? std::nullopt : std::optional<long>(prev->second);
+        EXPECT_EQ(m.put(key, v), expect);
+        oracle[key] = v;
+        break;
+      }
+      case 2: {
+        auto prev = oracle.find(key);
+        auto expect = prev == oracle.end() ? std::nullopt : std::optional<long>(prev->second);
+        EXPECT_EQ(m.remove(key), expect);
+        oracle.erase(key);
+        break;
+      }
+      case 3: {
+        auto prev = oracle.find(key);
+        auto expect = prev == oracle.end() ? std::nullopt : std::optional<long>(prev->second);
+        EXPECT_EQ(m.get(key), expect);
+        break;
+      }
+      case 4: {
+        auto first = oracle.empty() ? std::nullopt : std::optional<long>(oracle.begin()->first);
+        auto last = oracle.empty() ? std::nullopt : std::optional<long>(oracle.rbegin()->first);
+        EXPECT_EQ(m.first_key(), first);
+        EXPECT_EQ(m.last_key(), last);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(m.size(), static_cast<long>(oracle.size()));
+  auto it = m.iterator();
+  for (const auto& [k, v] : oracle) {
+    ASSERT_TRUE(it->has_next());
+    auto [mk, mv] = it->next();
+    EXPECT_EQ(mk, k);
+    EXPECT_EQ(mv, v);
+  }
+  EXPECT_FALSE(it->has_next());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipListModelTest, ::testing::Range(1u, 9u));
+
+TEST(SkipListMapTest, WorksUnderTransactionalSortedMapWrapper) {
+  // The wrapper is implementation-agnostic: the same Table 4/5 semantics
+  // over a skip list instead of a red-black tree.
+  sim::Config cfg;
+  cfg.num_cpus = 4;
+  cfg.mode = sim::Mode::kTcc;
+  sim::Engine eng(cfg);
+  atomos::Runtime rt(eng);
+  tcc::TransactionalSortedMap<long, long> map(std::make_unique<SkipListMap<long, long>>());
+  for (long k = 0; k < 40; k += 2) map.put(k, k);
+  for (int c = 0; c < 4; ++c) {
+    eng.spawn([&, c] {
+      for (int i = 0; i < 10; ++i) {
+        atomos::atomically([&] {
+          map.put(100 + c * 20 + i, 1);  // disjoint new keys
+          long count = 0;
+          const long lo = c * 10;
+          for (auto it = map.range_iterator(lo, lo + 10); it->has_next();) {
+            it->next();
+            ++count;
+          }
+          atomos::work(300);
+        });
+      }
+    });
+  }
+  eng.run();
+  EXPECT_EQ(map.inner().size(), 20 + 40);
+  EXPECT_EQ(map.range_lock_count(), 0u);
+  // Disjoint ranges and disjoint keys: no semantic conflicts.
+  EXPECT_EQ(eng.stats().total(&sim::CpuStats::semantic_violations), 0u);
+}
+
+TEST(SkipListMapTest, TransactionalInsertsOnSkipListDoNotConflictWhenWrapped) {
+  // The Figure 1 pathology and its fix, on the skip-list substrate.
+  sim::Config cfg;
+  cfg.num_cpus = 2;
+  cfg.mode = sim::Mode::kTcc;
+  // raw: conflicts on SkipListMap.size
+  sim::Engine eng1(cfg);
+  {
+    atomos::Runtime rt(eng1);
+    SkipListMap<long, long> raw;
+    for (int c = 0; c < 2; ++c) {
+      eng1.spawn([&, c] {
+        atomos::atomically([&] {
+          raw.put(1000 + c, c);
+          atomos::work(3000);
+        });
+      });
+    }
+    eng1.run();
+  }
+  EXPECT_GE(eng1.stats().total(&sim::CpuStats::violations), 1u);
+  // wrapped: no conflicts
+  sim::Engine eng2(cfg);
+  {
+    atomos::Runtime rt(eng2);
+    tcc::TransactionalSortedMap<long, long> wrapped(
+        std::make_unique<SkipListMap<long, long>>());
+    for (int c = 0; c < 2; ++c) {
+      eng2.spawn([&, c] {
+        atomos::atomically([&] {
+          wrapped.put(1000 + c, c);
+          atomos::work(3000);
+        });
+      });
+    }
+    eng2.run();
+  }
+  EXPECT_EQ(eng2.stats().total(&sim::CpuStats::violations), 0u);
+  EXPECT_EQ(eng2.stats().total(&sim::CpuStats::semantic_violations), 0u);
+}
+
+}  // namespace
+}  // namespace jstd

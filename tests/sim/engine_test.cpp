@@ -1,0 +1,138 @@
+// Unit tests for the CMP engine: clock ordering, determinism, block/unblock,
+// deadlock detection, and tick/advance semantics.
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sim {
+namespace {
+
+Config cfg(int cpus, std::uint64_t slack = 0) {
+  Config c;
+  c.num_cpus = cpus;
+  c.slack = slack;
+  return c;
+}
+
+TEST(EngineTest, SingleWorkerRunsAndAccumulatesTime) {
+  Engine eng(cfg(1));
+  eng.spawn([&] {
+    EXPECT_TRUE(Engine::in_worker());
+    EXPECT_EQ(Engine::get().cpu_id(), 0);
+    Engine::get().tick(100);
+    EXPECT_EQ(Engine::get().now(), 100u);
+  });
+  eng.run();
+  EXPECT_EQ(eng.elapsed_cycles(), 100u);
+  EXPECT_FALSE(Engine::in_worker());
+}
+
+TEST(EngineTest, EventsAreGloballyTimeOrdered) {
+  // Two CPUs record (time, id) at each step; the merged trace must be sorted
+  // by time (ties broken by lower CPU id, per the deterministic scheduler).
+  Engine eng(cfg(2));
+  std::vector<std::pair<std::uint64_t, int>> trace;
+  for (int id = 0; id < 2; ++id) {
+    eng.spawn([&, id] {
+      Engine& e = Engine::get();
+      for (int i = 0; i < 20; ++i) {
+        trace.emplace_back(e.now(), id);
+        e.tick(id == 0 ? 3 : 5);  // different rates force interleaving
+      }
+    });
+  }
+  eng.run();
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].first, trace[i].first)
+        << "event " << i << " out of order";
+  }
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine eng(cfg(4));
+    std::vector<int> order;
+    for (int id = 0; id < 4; ++id) {
+      eng.spawn([&, id] {
+        for (int i = 0; i < 10; ++i) {
+          order.push_back(id);
+          Engine::get().tick(static_cast<std::uint64_t>(1 + ((id * 7 + i) % 5)));
+        }
+      });
+    }
+    eng.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EngineTest, BlockUnblockTransfersTime) {
+  Engine eng(cfg(2));
+  std::uint64_t woke_at = 0;
+  eng.spawn([&] {
+    Engine::get().block();  // sleeps until CPU1 wakes us
+    woke_at = Engine::get().now();
+  });
+  eng.spawn([&] {
+    Engine& e = Engine::get();
+    e.tick(500);
+    e.unblock(0, e.now());
+  });
+  eng.run();
+  EXPECT_EQ(woke_at, 500u);
+}
+
+TEST(EngineTest, AllBlockedIsDeadlock) {
+  Engine eng(cfg(2));
+  eng.spawn([] { Engine::get().block(); });
+  eng.spawn([] { Engine::get().block(); });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(EngineTest, ElapsedIsMaxOverCpus) {
+  Engine eng(cfg(3));
+  eng.spawn([] { Engine::get().tick(10); });
+  eng.spawn([] { Engine::get().tick(999); });
+  eng.spawn([] { Engine::get().tick(50); });
+  eng.run();
+  EXPECT_EQ(eng.elapsed_cycles(), 999u);
+}
+
+TEST(EngineTest, SpawnMoreThanCpusThrows) {
+  Engine eng(cfg(1));
+  eng.spawn([] {});
+  EXPECT_THROW(eng.spawn([] {}), std::logic_error);
+}
+
+TEST(EngineTest, AdvanceToMovesClockForwardOnly) {
+  Engine eng(cfg(1));
+  eng.spawn([] {
+    Engine& e = Engine::get();
+    e.tick(100);
+    e.advance_to(50);  // must not move backwards
+    EXPECT_EQ(e.now(), 100u);
+    e.advance_to(200);
+    EXPECT_EQ(e.now(), 200u);
+  });
+  eng.run();
+}
+
+TEST(EngineTest, SlackAllowsBatchedProgress) {
+  // With large slack both workers still complete and produce the same total
+  // time; only the interleaving granularity changes.
+  auto total = [](std::uint64_t slack) {
+    Engine eng(cfg(2, slack));
+    for (int id = 0; id < 2; ++id)
+      eng.spawn([] {
+        for (int i = 0; i < 100; ++i) Engine::get().tick(7);
+      });
+    eng.run();
+    return eng.elapsed_cycles();
+  };
+  EXPECT_EQ(total(0), total(1000));
+}
+
+}  // namespace
+}  // namespace sim

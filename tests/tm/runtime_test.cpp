@@ -1,0 +1,506 @@
+// Unit tests for the Atomos/TCC-style TM runtime: atomicity, isolation,
+// read-own-writes, conflict detection and retry, nesting semantics, commit
+// and abort handlers, and program-directed abort.
+#include "tm/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tm/shared.h"
+
+namespace atomos {
+namespace {
+
+sim::Config tcc_cfg(int cpus) {
+  sim::Config c;
+  c.num_cpus = cpus;
+  c.mode = sim::Mode::kTcc;
+  return c;
+}
+
+TEST(RuntimeTest, CommitPublishesWrites) {
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  Shared<int> x(1);
+  eng.spawn([&] {
+    atomically([&] {
+      x.set(5);
+      EXPECT_EQ(x.get(), 5);  // read-own-write
+    });
+    EXPECT_EQ(x.get(), 5);  // committed
+  });
+  eng.run();
+  EXPECT_EQ(x.unsafe_peek(), 5);
+  EXPECT_EQ(eng.stats().cpu(0).commits, 1u);
+}
+
+TEST(RuntimeTest, SpeculativeWritesInvisibleToOthers) {
+  sim::Engine eng(tcc_cfg(2));
+  Runtime rt(eng);
+  Shared<int> x(0);
+  Shared<int> flag(0);
+  int seen_by_1 = -1;
+  eng.spawn([&] {
+    atomically([&] {
+      x.set(99);
+      // Run long enough that CPU1 reads while we are still speculative.
+      Runtime::current().work(1000);
+    });
+  });
+  eng.spawn([&] {
+    Runtime::current().work(100);  // land mid-transaction of CPU0
+    seen_by_1 = atomically([&] { return x.get(); });
+    (void)flag;
+  });
+  eng.run();
+  EXPECT_EQ(seen_by_1, 0);  // isolation: buffered write was not visible
+  EXPECT_EQ(x.unsafe_peek(), 99);
+}
+
+TEST(RuntimeTest, ConflictingReaderIsViolatedAndRetries) {
+  sim::Engine eng(tcc_cfg(2));
+  Runtime rt(eng);
+  Shared<int> x(0);
+  int attempts = 0;
+  int final_read = -1;
+  // CPU0: long transaction that reads x early, then works; CPU1 commits a
+  // write to x in the middle -> CPU0 must be violated and re-execute.
+  eng.spawn([&] {
+    atomically([&] {
+      ++attempts;
+      final_read = x.get();
+      Runtime::current().work(5000);
+    });
+  });
+  eng.spawn([&] {
+    Runtime::current().work(500);
+    atomically([&] { x.set(7); });
+  });
+  eng.run();
+  EXPECT_GE(attempts, 2);
+  EXPECT_EQ(final_read, 7);  // the retry saw the committed value
+  EXPECT_GE(eng.stats().cpu(0).violations, 1u);
+  EXPECT_GT(eng.stats().cpu(0).lost_cycles, 0u);
+}
+
+TEST(RuntimeTest, DisjointWritesDoNotConflict) {
+  sim::Engine eng(tcc_cfg(2));
+  Runtime rt(eng);
+  // Separate heap allocations land on distinct cache lines.
+  auto a = std::make_unique<Shared<int>>(0);
+  auto pad = std::make_unique<std::array<char, 256>>();
+  auto b = std::make_unique<Shared<int>>(0);
+  (void)pad;
+  eng.spawn([&] {
+    atomically([&] {
+      a->set(1);
+      Runtime::current().work(1000);
+    });
+  });
+  eng.spawn([&] {
+    atomically([&] {
+      b->set(2);
+      Runtime::current().work(1000);
+    });
+  });
+  eng.run();
+  EXPECT_EQ(eng.stats().total(&sim::CpuStats::violations), 0u);
+  EXPECT_EQ(a->unsafe_peek(), 1);
+  EXPECT_EQ(b->unsafe_peek(), 2);
+}
+
+TEST(RuntimeTest, AtomicityUnderContention) {
+  // Classic counter test: N CPUs x K increments inside transactions must
+  // total exactly N*K despite violations.
+  constexpr int kCpus = 8;
+  constexpr int kIncs = 25;
+  sim::Engine eng(tcc_cfg(kCpus));
+  Runtime rt(eng);
+  Shared<long> counter(0);
+  for (int c = 0; c < kCpus; ++c) {
+    eng.spawn([&] {
+      for (int i = 0; i < kIncs; ++i) {
+        atomically([&] { counter.set(counter.get() + 1); });
+      }
+    });
+  }
+  eng.run();
+  EXPECT_EQ(counter.unsafe_peek(), static_cast<long>(kCpus) * kIncs);
+}
+
+TEST(RuntimeTest, ClosedNestingPartialRollback) {
+  // A nested frame reads y (written by the other CPU); only the frame
+  // retries, the parent's earlier side effect (recorded attempts) shows the
+  // parent body ran once.
+  sim::Engine eng(tcc_cfg(2));
+  Runtime rt(eng);
+  Shared<int> y(0);
+  int parent_runs = 0;
+  int frame_runs = 0;
+  int seen = -1;
+  eng.spawn([&] {
+    atomically([&] {
+      ++parent_runs;
+      Runtime::current().work(100);
+      atomically([&] {  // closed-nested frame
+        ++frame_runs;
+        seen = y.get();
+        Runtime::current().work(4000);
+      });
+    });
+  });
+  eng.spawn([&] {
+    Runtime::current().work(600);  // inside the nested frame's window
+    atomically([&] { y.set(3); });
+  });
+  eng.run();
+  EXPECT_EQ(parent_runs, 1);   // parent never re-ran
+  EXPECT_GE(frame_runs, 2);    // the frame did
+  EXPECT_EQ(seen, 3);
+  EXPECT_GE(eng.stats().cpu(0).nested_violations, 1u);
+}
+
+TEST(RuntimeTest, ParentReadConflictRestartsWholeTransaction) {
+  // The parent itself read y before entering the frame: a conflicting commit
+  // must restart the parent, not just the frame.
+  sim::Engine eng(tcc_cfg(2));
+  Runtime rt(eng);
+  Shared<int> y(0);
+  int parent_runs = 0;
+  eng.spawn([&] {
+    atomically([&] {
+      ++parent_runs;
+      (void)y.get();
+      Runtime::current().work(100);
+      atomically([&] { Runtime::current().work(4000); });
+    });
+  });
+  eng.spawn([&] {
+    Runtime::current().work(600);
+    atomically([&] { y.set(3); });
+  });
+  eng.run();
+  EXPECT_GE(parent_runs, 2);
+}
+
+TEST(RuntimeTest, NestedFrameWritesRollBackWithFrame) {
+  // A user exception aborts the frame; its buffered writes must vanish while
+  // the parent's survive.
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  Shared<int> x(0);
+  Shared<int> z(0);
+  eng.spawn([&] {
+    atomically([&] {
+      x.set(1);
+      try {
+        atomically([&] {
+          z.set(42);
+          x.set(100);
+          throw std::runtime_error("frame fails");
+        });
+      } catch (const std::runtime_error&) {
+      }
+      EXPECT_EQ(z.get(), 0);  // frame write rolled back
+      EXPECT_EQ(x.get(), 1);  // parent's shadowed value restored
+    });
+  });
+  eng.run();
+  EXPECT_EQ(x.unsafe_peek(), 1);
+  EXPECT_EQ(z.unsafe_peek(), 0);
+}
+
+TEST(RuntimeTest, OpenNestedCommitsImmediatelyAndDropsDependencies) {
+  sim::Engine eng(tcc_cfg(2));
+  Runtime rt(eng);
+  Shared<int> counter(0);
+  Shared<int> data(0);
+  int observed = -1;
+  eng.spawn([&] {
+    atomically([&] {
+      open_atomically([&] { counter.set(counter.get() + 1); });
+      Runtime::current().work(5000);  // long tail: CPU1 acts meanwhile
+      data.set(1);
+    });
+  });
+  eng.spawn([&] {
+    Runtime::current().work(800);
+    observed = atomically([&] { return counter.get(); });
+    // Committing a write to `counter` must NOT violate CPU0: its open child
+    // already committed and its read/write dependencies were discarded.
+    atomically([&] { counter.set(counter.get() + 10); });
+  });
+  eng.run();
+  EXPECT_EQ(observed, 1);  // open-nested result visible pre-parent-commit
+  EXPECT_EQ(counter.unsafe_peek(), 11);
+  EXPECT_EQ(eng.stats().cpu(0).violations, 0u);
+  EXPECT_EQ(data.unsafe_peek(), 1);
+  EXPECT_GE(eng.stats().cpu(0).open_commits, 1u);
+}
+
+TEST(RuntimeTest, OpenChildSeesParentBufferedWrites) {
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  Shared<int> x(0);
+  int seen = -1;
+  eng.spawn([&] {
+    atomically([&] {
+      x.set(9);
+      open_atomically([&] { seen = x.get(); });
+    });
+  });
+  eng.run();
+  EXPECT_EQ(seen, 9);
+}
+
+TEST(RuntimeTest, CommitHandlerRunsOnCommitOnly) {
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  Shared<int> x(0);
+  int commits = 0, aborts = 0;
+  eng.spawn([&] {
+    atomically([&] {
+      x.set(1);
+      on_commit([&] { ++commits; });
+      on_abort([&] { ++aborts; });
+    });
+  });
+  eng.run();
+  EXPECT_EQ(commits, 1);
+  EXPECT_EQ(aborts, 0);
+}
+
+TEST(RuntimeTest, AbortHandlerRunsOnEachAbort) {
+  sim::Engine eng(tcc_cfg(2));
+  Runtime rt(eng);
+  Shared<int> x(0);
+  int aborts = 0;
+  int attempts = 0;
+  eng.spawn([&] {
+    atomically([&] {
+      ++attempts;
+      on_abort([&] { ++aborts; });
+      (void)x.get();
+      Runtime::current().work(5000);
+    });
+  });
+  eng.spawn([&] {
+    Runtime::current().work(500);
+    atomically([&] { x.set(1); });
+  });
+  eng.run();
+  EXPECT_GE(attempts, 2);
+  EXPECT_EQ(aborts, attempts - 1);  // every aborted attempt compensated once
+}
+
+TEST(RuntimeTest, HandlersOfAbortedNestedFrameAreDiscarded) {
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  int commit_runs = 0, abort_runs = 0;
+  eng.spawn([&] {
+    atomically([&] {
+      try {
+        atomically([&] {
+          on_commit([&] { ++commit_runs; });
+          on_abort([&] { ++abort_runs; });
+          throw std::runtime_error("abort the frame");
+        });
+      } catch (const std::runtime_error&) {
+      }
+    });
+  });
+  eng.run();
+  EXPECT_EQ(commit_runs, 0);  // discarded with the frame, not run at commit
+  EXPECT_EQ(abort_runs, 0);   // "discarded without executing" (paper S4)
+}
+
+TEST(RuntimeTest, OpenChildHandlersTransferToParent) {
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  std::vector<int> order;
+  eng.spawn([&] {
+    atomically([&] {
+      open_atomically([&] { on_commit([&] { order.push_back(1); }); });
+      on_commit([&] { order.push_back(2); });
+    });
+  });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // ran at PARENT commit, in order
+}
+
+TEST(RuntimeTest, ProgramDirectedAbort) {
+  sim::Engine eng(tcc_cfg(2));
+  Runtime rt(eng);
+  TxnId victim_id;
+  bool id_captured = false;
+  int victim_attempts = 0;
+  bool killed_ok = false;
+  eng.spawn([&] {
+    atomically([&] {
+      ++victim_attempts;
+      victim_id = self_id();
+      id_captured = true;
+      Runtime::current().work(5000);
+    });
+  });
+  eng.spawn([&] {
+    Runtime::current().work(500);
+    EXPECT_TRUE(id_captured);
+    killed_ok = violate(victim_id);
+  });
+  eng.run();
+  EXPECT_TRUE(killed_ok);
+  EXPECT_GE(victim_attempts, 2);
+  EXPECT_GE(eng.stats().cpu(0).semantic_violations, 1u);
+}
+
+TEST(RuntimeTest, ViolateStaleIncarnationFails) {
+  sim::Engine eng(tcc_cfg(2));
+  Runtime rt(eng);
+  TxnId old_id;
+  bool captured = false;
+  bool result = true;
+  eng.spawn([&] {
+    atomically([&] { old_id = self_id(); captured = true; });
+    Runtime::current().work(4000);  // stay alive while CPU1 tries the kill
+  });
+  eng.spawn([&] {
+    Runtime::current().work(1000);  // after CPU0's transaction committed
+    EXPECT_TRUE(captured);
+    result = violate(old_id);
+  });
+  eng.run();
+  EXPECT_FALSE(result);  // incarnation retired: kill must not land
+}
+
+TEST(RuntimeTest, TxNewRolledBackOnAbortTxDeleteDeferred) {
+  static int live = 0;
+  struct Obj {
+    Obj() { ++live; }
+    ~Obj() { --live; }
+  };
+  sim::Engine eng(tcc_cfg(1));
+  {
+    Runtime rt(eng);
+    eng.spawn([&] {
+    // Aborted allocation: destroyed.
+    try {
+      atomically([&] {
+        (void)tx_new<Obj>();
+        throw std::runtime_error("abort");
+      });
+    } catch (const std::runtime_error&) {
+    }
+    EXPECT_EQ(live, 0);
+    // Committed allocation + committed delete: gone after quiescence.
+    Obj* o = nullptr;
+    atomically([&] { o = tx_new<Obj>(); });
+      EXPECT_EQ(live, 1);
+      atomically([&] { tx_delete(o); });
+    });
+    eng.run();
+  }
+  EXPECT_EQ(live, 0);
+
+  // Aborted delete: object survives.
+  sim::Engine eng2(tcc_cfg(1));
+  {
+    Runtime rt2(eng2);
+    Obj* o2 = new Obj();
+    eng2.spawn([&] {
+      try {
+        atomically([&] {
+          tx_delete(o2);
+          throw std::runtime_error("abort");
+        });
+      } catch (const std::runtime_error&) {
+      }
+      EXPECT_EQ(live, 1);
+      atomically([&] { tx_delete(o2); });
+    });
+    eng2.run();
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(RuntimeTest, LockModeIsPassthrough) {
+  sim::Config cfg = tcc_cfg(1);
+  cfg.mode = sim::Mode::kLock;
+  sim::Engine eng(cfg);
+  Runtime rt(eng);
+  Shared<int> x(0);
+  int commit_runs = 0;
+  eng.spawn([&] {
+    atomically([&] {
+      x.set(4);
+      on_commit([&] { ++commit_runs; });
+      EXPECT_EQ(x.get(), 4);
+    });
+  });
+  eng.run();
+  EXPECT_EQ(x.unsafe_peek(), 4);
+  EXPECT_EQ(commit_runs, 1);
+}
+
+TEST(RuntimeTest, UserExceptionAbortsAndPropagates) {
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  Shared<int> x(0);
+  bool caught = false;
+  eng.spawn([&] {
+    try {
+      atomically([&] {
+        x.set(123);
+        throw std::runtime_error("user error");
+      });
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(x.unsafe_peek(), 0);  // aborted: nothing published
+}
+
+TEST(RuntimeTest, SerializedCommitsAreTotalOrder) {
+  // Two read-modify-write transactions racing on the same cell: exactly one
+  // violates, none is lost (x ends at 2).
+  sim::Engine eng(tcc_cfg(2));
+  Runtime rt(eng);
+  Shared<int> x(0);
+  for (int c = 0; c < 2; ++c) {
+    eng.spawn([&] {
+      atomically([&] {
+        int v = x.get();
+        Runtime::current().work(200);
+        x.set(v + 1);
+      });
+    });
+  }
+  eng.run();
+  EXPECT_EQ(x.unsafe_peek(), 2);
+}
+
+TEST(RuntimeTest, DeterministicViolationCounts) {
+  auto run_once = [] {
+    sim::Engine eng(tcc_cfg(4));
+    Runtime rt(eng);
+    Shared<long> c(0);
+    for (int i = 0; i < 4; ++i) {
+      eng.spawn([&] {
+        for (int k = 0; k < 10; ++k)
+          atomically([&] {
+            c.set(c.get() + 1);
+            Runtime::current().work(97);
+          });
+      });
+    }
+    eng.run();
+    return std::pair(eng.elapsed_cycles(), eng.stats().total(&sim::CpuStats::violations));
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace atomos
