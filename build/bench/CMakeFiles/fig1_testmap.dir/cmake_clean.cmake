@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_testmap.dir/fig1_testmap.cpp.o"
+  "CMakeFiles/fig1_testmap.dir/fig1_testmap.cpp.o.d"
+  "fig1_testmap"
+  "fig1_testmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_testmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

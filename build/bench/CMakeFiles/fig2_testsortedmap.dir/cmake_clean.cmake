@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_testsortedmap.dir/fig2_testsortedmap.cpp.o"
+  "CMakeFiles/fig2_testsortedmap.dir/fig2_testsortedmap.cpp.o.d"
+  "fig2_testsortedmap"
+  "fig2_testsortedmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_testsortedmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

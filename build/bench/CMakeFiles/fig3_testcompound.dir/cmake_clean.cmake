@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_testcompound.dir/fig3_testcompound.cpp.o"
+  "CMakeFiles/fig3_testcompound.dir/fig3_testcompound.cpp.o.d"
+  "fig3_testcompound"
+  "fig3_testcompound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_testcompound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_specjbb.dir/fig4_specjbb.cpp.o"
+  "CMakeFiles/fig4_specjbb.dir/fig4_specjbb.cpp.o.d"
+  "fig4_specjbb"
+  "fig4_specjbb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_specjbb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

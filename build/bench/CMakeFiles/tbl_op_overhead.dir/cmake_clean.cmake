@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_op_overhead.dir/tbl_op_overhead.cpp.o"
+  "CMakeFiles/tbl_op_overhead.dir/tbl_op_overhead.cpp.o.d"
+  "tbl_op_overhead"
+  "tbl_op_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_op_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbb_mini.dir/jbb_mini.cpp.o"
+  "CMakeFiles/jbb_mini.dir/jbb_mini.cpp.o.d"
+  "jbb_mini"
+  "jbb_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbb_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

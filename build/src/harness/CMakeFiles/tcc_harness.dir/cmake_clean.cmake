@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_harness.dir/speedup.cpp.o"
+  "CMakeFiles/tcc_harness.dir/speedup.cpp.o.d"
+  "libtcc_harness.a"
+  "libtcc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

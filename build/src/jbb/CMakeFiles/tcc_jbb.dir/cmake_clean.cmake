@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_jbb.dir/engine.cpp.o"
+  "CMakeFiles/tcc_jbb.dir/engine.cpp.o.d"
+  "libtcc_jbb.a"
+  "libtcc_jbb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_jbb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tcc_jbb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_sim.dir/context.S.o"
+  "CMakeFiles/tcc_sim.dir/engine.cpp.o"
+  "CMakeFiles/tcc_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/tcc_sim.dir/fiber.cpp.o"
+  "CMakeFiles/tcc_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/tcc_sim.dir/memsys.cpp.o"
+  "CMakeFiles/tcc_sim.dir/memsys.cpp.o.d"
+  "libtcc_sim.a"
+  "libtcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/tcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

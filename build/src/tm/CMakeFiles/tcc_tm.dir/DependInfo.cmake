@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tm/mutex.cpp" "src/tm/CMakeFiles/tcc_tm.dir/mutex.cpp.o" "gcc" "src/tm/CMakeFiles/tcc_tm.dir/mutex.cpp.o.d"
+  "/root/repo/src/tm/runtime.cpp" "src/tm/CMakeFiles/tcc_tm.dir/runtime.cpp.o" "gcc" "src/tm/CMakeFiles/tcc_tm.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tcc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

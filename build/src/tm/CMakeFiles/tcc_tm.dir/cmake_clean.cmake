@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_tm.dir/mutex.cpp.o"
+  "CMakeFiles/tcc_tm.dir/mutex.cpp.o.d"
+  "CMakeFiles/tcc_tm.dir/runtime.cpp.o"
+  "CMakeFiles/tcc_tm.dir/runtime.cpp.o.d"
+  "libtcc_tm.a"
+  "libtcc_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_counter_test.dir/open_counter_test.cpp.o"
+  "CMakeFiles/open_counter_test.dir/open_counter_test.cpp.o.d"
+  "open_counter_test"
+  "open_counter_test.pdb"
+  "open_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_sortedmap_conflicts_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txmap_test.dir/txmap_test.cpp.o"
+  "CMakeFiles/txmap_test.dir/txmap_test.cpp.o.d"
+  "txmap_test"
+  "txmap_test.pdb"
+  "txmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

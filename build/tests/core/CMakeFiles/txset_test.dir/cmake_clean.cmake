@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txset_test.dir/txset_test.cpp.o"
+  "CMakeFiles/txset_test.dir/txset_test.cpp.o.d"
+  "txset_test"
+  "txset_test.pdb"
+  "txset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/txmap_test[1]_include.cmake")
+include("/root/repo/build/tests/core/table1_map_conflicts_test[1]_include.cmake")
+include("/root/repo/build/tests/core/table4_sortedmap_conflicts_test[1]_include.cmake")
+include("/root/repo/build/tests/core/table7_queue_conflicts_test[1]_include.cmake")
+include("/root/repo/build/tests/core/open_counter_test[1]_include.cmake")
+include("/root/repo/build/tests/core/txset_test[1]_include.cmake")

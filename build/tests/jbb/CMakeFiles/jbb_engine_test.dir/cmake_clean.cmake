@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbb_engine_test.dir/engine_test.cpp.o"
+  "CMakeFiles/jbb_engine_test.dir/engine_test.cpp.o.d"
+  "jbb_engine_test"
+  "jbb_engine_test.pdb"
+  "jbb_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbb_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrenthashmap_test.dir/concurrenthashmap_test.cpp.o"
+  "CMakeFiles/concurrenthashmap_test.dir/concurrenthashmap_test.cpp.o.d"
+  "concurrenthashmap_test"
+  "concurrenthashmap_test.pdb"
+  "concurrenthashmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrenthashmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

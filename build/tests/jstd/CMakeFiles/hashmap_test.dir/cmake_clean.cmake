@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashmap_test.dir/hashmap_test.cpp.o"
+  "CMakeFiles/hashmap_test.dir/hashmap_test.cpp.o.d"
+  "hashmap_test"
+  "hashmap_test.pdb"
+  "hashmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkedqueue_test.dir/linkedqueue_test.cpp.o"
+  "CMakeFiles/linkedqueue_test.dir/linkedqueue_test.cpp.o.d"
+  "linkedqueue_test"
+  "linkedqueue_test.pdb"
+  "linkedqueue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkedqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

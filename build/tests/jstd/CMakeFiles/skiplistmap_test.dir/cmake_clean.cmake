@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skiplistmap_test.dir/skiplistmap_test.cpp.o"
+  "CMakeFiles/skiplistmap_test.dir/skiplistmap_test.cpp.o.d"
+  "skiplistmap_test"
+  "skiplistmap_test.pdb"
+  "skiplistmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skiplistmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

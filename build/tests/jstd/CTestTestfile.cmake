@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/jstd
+# Build directory: /root/repo/build/tests/jstd
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/jstd/hashmap_test[1]_include.cmake")
+include("/root/repo/build/tests/jstd/treemap_test[1]_include.cmake")
+include("/root/repo/build/tests/jstd/linkedqueue_test[1]_include.cmake")
+include("/root/repo/build/tests/jstd/concurrenthashmap_test[1]_include.cmake")
+include("/root/repo/build/tests/jstd/conflicts_test[1]_include.cmake")
+include("/root/repo/build/tests/jstd/skiplistmap_test[1]_include.cmake")
