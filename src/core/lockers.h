@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "tm/audit.h"
 #include "tm/runtime.h"
 
 namespace tcc {
@@ -38,12 +39,19 @@ class LockerSet {
  public:
   /// Adds `owner` (idempotent).
   void add(const atomos::TxnId& owner) {
-    if (!contains(owner)) owners_.push_back(owner);
+    if (!contains(owner)) {
+      owners_.push_back(owner);
+      atomos::audit::lock_acquired(owner, this);
+    }
   }
 
   /// Removes `owner` if present.
   void remove(const atomos::TxnId& owner) {
-    owners_.erase(std::remove(owners_.begin(), owners_.end(), owner), owners_.end());
+    auto tail = std::remove(owners_.begin(), owners_.end(), owner);
+    if (tail != owners_.end()) {
+      owners_.erase(tail, owners_.end());
+      atomos::audit::lock_released(owner, this);
+    }
   }
 
   bool contains(const atomos::TxnId& owner) const {
@@ -67,6 +75,7 @@ class LockerSet {
         ++doomed;
         ++it;
       } else {
+        atomos::audit::lock_released(*it, this);  // settled owner: no-op audit
         it = owners_.erase(it);  // stale lock: owner already gone
       }
     }
@@ -136,6 +145,7 @@ class RangeLockTable {
   Handle lock(const std::optional<K>& from, const std::optional<K>& to,
               const atomos::TxnId& owner, bool to_closed = false) {
     ranges_.push_back(Range{from, to, to_closed, owner});
+    atomos::audit::lock_acquired(owner, this);
     return std::prev(ranges_.end());
   }
 
@@ -147,7 +157,9 @@ class RangeLockTable {
 
   /// Removes every range owned by `owner` (commit/abort cleanup).
   void unlock_all(const atomos::TxnId& owner) {
-    ranges_.remove_if([&](const Range& r) { return r.owner == owner; });
+    if (ranges_.remove_if([&](const Range& r) { return r.owner == owner; }) > 0) {
+      atomos::audit::locks_released_all(owner, this);
+    }
   }
 
   /// Commit-time conflict: `key` is being added/removed — every other owner
@@ -164,6 +176,7 @@ class RangeLockTable {
         ++doomed;
         ++it;
       } else {
+        atomos::audit::lock_released(it->owner, this);  // settled owner: no-op
         it = ranges_.erase(it);  // stale
       }
     }

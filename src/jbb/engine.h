@@ -89,6 +89,9 @@ class Sequence {
         return plain_.get();
       case Flavor::kAtomosOpen:
       case Flavor::kAtomosTransactional:
+        // Documented stale read: callers accept an unsynchronized bound, so
+        // no semantic lock (and no read-set entry) is taken on purpose.
+        // txlint: allow(raw-peek) - deliberate lock-free stale bound
         return atomos::open_atomically([&] { return uid_.unsafe_peek_next(); });
     }
     throw std::logic_error("unreachable");

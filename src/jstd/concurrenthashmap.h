@@ -143,7 +143,7 @@ class ConcurrentHashMap final : public Map<K, V> {
   };
 
   Hash hash_;
-  std::size_t nsegments_;
+  const std::size_t nsegments_;
   std::vector<std::unique_ptr<Segment>> segs_;
 };
 

@@ -107,6 +107,7 @@ class HashMap final : public Map<K, V> {
   }
 
   /// Current bucket-array capacity (for tests of resize behaviour).
+  // txlint: allow(raw-peek) - test oracle: capacity probe outside the workload
   std::size_t bucket_count() const { return table_.unsafe_peek()->nbuckets; }
 
  private:
@@ -176,7 +177,7 @@ class HashMap final : public Map<K, V> {
 
   Hash hash_;
   Eq eq_;
-  float load_factor_;
+  const float load_factor_;
   atomos::Shared<long> size_;
   atomos::Shared<Table*> table_;
 };

@@ -27,9 +27,8 @@ class SkipListMap final : public SortedMap<K, V> {
   static constexpr int kMaxLevel = 16;
 
   explicit SkipListMap(Compare cmp = Compare(), std::uint64_t seed = 0x9e3779b9)
-      : cmp_(cmp), rng_(seed), size_(0, "SkipListMap.size") {
-    head_ = new Node(K{}, V{}, kMaxLevel);  // sentinel; key unused
-  }
+      : cmp_(cmp), rng_(seed), size_(0, "SkipListMap.size"),
+        head_(new Node(K{}, V{}, kMaxLevel)) {}  // sentinel; key unused
 
   ~SkipListMap() override {
     Node* n = head_;
@@ -182,9 +181,14 @@ class SkipListMap final : public SortedMap<K, V> {
   };
 
   Compare cmp_;
+  // Deliberately NOT Shared: random_height() advances this on every insert
+  // attempt (aborted ones included).  Wrapping it would put the RNG line in
+  // every inserter's write set and serialize all puts on it; the only effect
+  // of racing is the height distribution, which is benign nondeterminism.
+  // txlint: allow(shared-field) - benign racy RNG state, see comment above
   std::uint64_t rng_;
   atomos::Shared<long> size_;
-  Node* head_;  // sentinel, never reclaimed until destruction
+  Node* const head_;  // sentinel, never reclaimed until destruction
 };
 
 }  // namespace jstd

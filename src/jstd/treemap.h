@@ -121,6 +121,7 @@ class TreeMap final : public SortedMap<K, V> {
   }
 
   // ---- white-box invariant checks (tests only; untimed raw access) ----
+  // txlint: begin-allow(raw-peek)
 
   /// Verifies every red-black + BST invariant; returns false on corruption.
   bool check_invariants() const {
@@ -130,6 +131,7 @@ class TreeMap final : public SortedMap<K, V> {
     const bool ok = check_node(root_.unsafe_peek(), nullptr, nullptr, nullptr, 0, bh, count);
     return ok && count == size_.unsafe_peek();
   }
+  // txlint: end-allow(raw-peek)
 
  private:
   struct Node {
@@ -394,6 +396,7 @@ class TreeMap final : public SortedMap<K, V> {
   };
 
   // -- teardown / invariant helpers (raw access) --
+  // txlint: begin-allow(raw-peek)
 
   void destroy(Node* n) {
     if (n == nullptr) return;
@@ -419,6 +422,7 @@ class TreeMap final : public SortedMap<K, V> {
     return check_node(n->left.unsafe_peek(), n, lo, &k, bd, leaf_black_depth, count) &&
            check_node(n->right.unsafe_peek(), n, &k, hi, bd, leaf_black_depth, count);
   }
+  // txlint: end-allow(raw-peek)
 
   Compare cmp_;
   atomos::Shared<long> size_;

@@ -18,6 +18,107 @@ void tcc_fiber_entry_thunk();
 void tcc_fiber_entry(sim::Fiber* f);
 }
 
+// Sanitizer interop.  The hand-rolled switch in context.S moves %rsp
+// between mmap'd stacks behind the sanitizers' backs.  Without annotations
+// TSan sees one thread's shadow stack teleport and reports wild races (or
+// crashes), and ASan's fake-stack / stack-bounds bookkeeping desyncs, which
+// surfaces as bogus stack-buffer-overflow reports from interceptors once a
+// fiber recurses deeply.  Both runtimes ship a fiber API for exactly this:
+// TSan's __tsan_{create,destroy,switch_to}_fiber registers each stack as a
+// distinct context, and ASan's __sanitizer_{start,finish}_switch_fiber
+// hands over the fake stack and real stack bounds across every switch.
+// Detection covers GCC (__SANITIZE_*) and Clang (__has_feature).
+#if defined(__SANITIZE_THREAD__)
+#define TCC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TCC_TSAN 1
+#endif
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define TCC_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TCC_ASAN 1
+#endif
+#endif
+
+#if defined(TCC_TSAN)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
+#if defined(TCC_ASAN)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
+                                    size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     size_t* size_old);
+}
+#endif
+
+namespace {
+inline void* tsan_this_fiber() {
+#if defined(TCC_TSAN)
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+inline void* tsan_new_fiber() {
+#if defined(TCC_TSAN)
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+inline void tsan_free_fiber(void* f) {
+#if defined(TCC_TSAN)
+  if (f != nullptr) __tsan_destroy_fiber(f);
+#else
+  (void)f;
+#endif
+}
+inline void tsan_switch(void* f) {
+#if defined(TCC_TSAN)
+  if (f != nullptr) __tsan_switch_to_fiber(f, 0);
+#else
+  (void)f;
+#endif
+}
+// Announce a switch to the stack [bottom, bottom+size).  `save` receives the
+// departing context's fake stack; pass nullptr when that context is exiting
+// for good (its fake stack is then torn down).
+inline void asan_start_switch(void** save, const void* bottom,
+                              std::size_t size) {
+#if defined(TCC_ASAN)
+  __sanitizer_start_switch_fiber(save, bottom, size);
+#else
+  (void)save;
+  (void)bottom;
+  (void)size;
+#endif
+}
+// Complete a switch on arrival: reinstall this context's fake stack and
+// optionally learn the bounds of the stack we came from.
+inline void asan_finish_switch(void* save, const void** bottom_old,
+                               std::size_t* size_old) {
+#if defined(TCC_ASAN)
+  __sanitizer_finish_switch_fiber(save, bottom_old, size_old);
+#else
+  (void)save;
+  (void)bottom_old;
+  (void)size_old;
+#endif
+}
+}  // namespace
+
 // Itanium C++ ABI exception-handling globals (one per host thread).  We swap
 // their contents per fiber so exceptions thrown/caught on different fiber
 // stacks never interleave.  Layout per the ABI; __cxa_get_globals is
@@ -61,6 +162,8 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
     throw std::runtime_error("Fiber: mprotect failed");
   }
   stack_mem_ = mem;
+  stack_bottom_ = static_cast<const char*>(mem) + ps;
+  stack_size_ = usable;
 
   // Seed the initial frame at the top of the stack: six callee-saved slots
   // (r15 r14 r13 r12 rbx rbp, in pop order) then the thunk's address as the
@@ -76,6 +179,8 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
   *--sp = 0;                                       // r14
   *--sp = 0;                                       // r15
   fiber_sp_ = sp;
+
+  tsan_fiber_ = tsan_new_fiber();
 }
 
 Fiber::~Fiber() {
@@ -86,6 +191,7 @@ Fiber::~Fiber() {
     std::fprintf(stderr, "sim::Fiber destroyed while suspended; aborting\n");
     std::abort();
   }
+  tsan_free_fiber(tsan_fiber_);
   if (stack_mem_ != nullptr) ::munmap(stack_mem_, map_bytes_);
 }
 
@@ -100,7 +206,11 @@ void Fiber::resume() {
   auto* eh = reinterpret_cast<EhGlobals*>(__cxxabiv1::__cxa_get_globals());
   eh_return_state_ = *eh;
   *eh = eh_state_;
+  tsan_return_fiber_ = tsan_this_fiber();
+  tsan_switch(tsan_fiber_);
+  asan_start_switch(&asan_return_fake_, stack_bottom_, stack_size_);
   tcc_ctx_swap(&return_sp_, fiber_sp_);
+  asan_finish_switch(asan_return_fake_, nullptr, nullptr);
   // Back from the fiber (yield or finish): park its globals, restore ours.
   eh_state_ = *eh;
   *eh = eh_return_state_;
@@ -111,10 +221,18 @@ void Fiber::resume() {
 void Fiber::yield() {
   Fiber* self = g_current_fiber;
   if (self == nullptr) throw std::logic_error("Fiber::yield outside a fiber");
+  tsan_switch(self->tsan_return_fiber_);
+  asan_start_switch(&self->asan_fake_stack_, self->asan_return_bottom_,
+                    self->asan_return_size_);
   tcc_ctx_swap(&self->fiber_sp_, self->return_sp_);
+  asan_finish_switch(self->asan_fake_stack_, &self->asan_return_bottom_,
+                     &self->asan_return_size_);
 }
 
 void Fiber::run_body() noexcept {
+  // First activation: complete the switch begun in resume() and learn the
+  // resumer's stack bounds (later re-entries complete theirs in yield()).
+  asan_finish_switch(nullptr, &asan_return_bottom_, &asan_return_size_);
   try {
     body_();
   } catch (const FiberKilled&) {
@@ -129,6 +247,9 @@ void Fiber::run_body() noexcept {
   finished_ = true;
   // Return to the resumer for the last time.  tcc_ctx_swap saves a resume
   // point we will never use.
+  tsan_switch(tsan_return_fiber_);
+  // nullptr save: this fiber never runs again, so its fake stack can go.
+  asan_start_switch(nullptr, asan_return_bottom_, asan_return_size_);
   tcc_ctx_swap(&fiber_sp_, return_sp_);
   std::abort();  // unreachable: nobody may resume a finished fiber
 }

@@ -83,6 +83,19 @@ class Fiber {
   void* return_sp_ = nullptr;   // where to go back to on yield/finish
   EhGlobals eh_state_{};        // the fiber's exception globals while suspended
   EhGlobals eh_return_state_{}; // the resumer's globals while the fiber runs
+  // Sanitizer bookkeeping (see fiber.cpp).  Neither TSan nor ASan can see
+  // the raw stack switch in context.S: every switch is announced with
+  // __tsan_switch_to_fiber / __sanitizer_start_switch_fiber and completed
+  // with __sanitizer_finish_switch_fiber on arrival.  All null/zero when
+  // not built with the corresponding sanitizer.
+  void* tsan_fiber_ = nullptr;         // this fiber's TSan context
+  void* tsan_return_fiber_ = nullptr;  // the resumer's TSan context
+  void* asan_fake_stack_ = nullptr;    // fiber's ASan fake stack, suspended
+  void* asan_return_fake_ = nullptr;   // resumer's fake stack, fiber running
+  const void* asan_return_bottom_ = nullptr;  // resumer's real stack bounds
+  std::size_t asan_return_size_ = 0;
+  const void* stack_bottom_ = nullptr;  // usable stack (above the guard page)
+  std::size_t stack_size_ = 0;
   bool started_ = false;
   bool finished_ = false;
   bool running_ = false;

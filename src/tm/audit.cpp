@@ -1,0 +1,192 @@
+#include "tm/audit.h"
+
+#if defined(TXCC_CHECKED) && TXCC_CHECKED
+
+#include <array>
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+
+namespace atomos::audit {
+namespace {
+
+// Cap what we echo/retain so a pathological workload cannot drown the run;
+// counters keep exact totals regardless.
+constexpr std::size_t kMaxStderrReports = 16;
+constexpr std::size_t kMaxKeptReports = 4096;
+
+struct TxnIdHash {
+  std::size_t operator()(const TxnId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.incarnation * 1000003u +
+                                      static_cast<std::uint64_t>(id.cpu));
+  }
+};
+
+struct State {
+  // Semantic-lock ledger: owner -> (lock table -> live acquire count).
+  std::unordered_map<TxnId, std::unordered_map<const void*, long>, TxnIdHash> held;
+  // Registered Shared<T> cells: address -> payload size.
+  std::unordered_map<std::uintptr_t, std::uint32_t> cells;
+  std::array<std::uint64_t, static_cast<std::size_t>(Check::kChecks)> counts{};
+  std::vector<std::string> findings;
+};
+
+// thread_local, matching the one-Runtime-per-thread rule (all fibers of an
+// engine share the host thread, so they share this ledger).
+State& st() {
+  thread_local State s;
+  return s;
+}
+
+void report(Check c, std::string msg) {
+  State& s = st();
+  s.counts[static_cast<std::size_t>(c)]++;
+  if (s.findings.size() < kMaxStderrReports) {
+    std::fprintf(stderr, "[txcheck] %s\n", msg.c_str());
+  }
+  if (s.findings.size() < kMaxKeptReports) s.findings.push_back(std::move(msg));
+}
+
+std::string id_str(const TxnId& id) {
+  return "txn(cpu=" + std::to_string(id.cpu) +
+         ", inc=" + std::to_string(id.incarnation) + ")";
+}
+
+std::string ptr_str(const void* p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%p", p);
+  return buf;
+}
+
+}  // namespace
+
+void reset() {
+  State& s = st();
+  s.held.clear();
+  s.counts.fill(0);
+  s.findings.clear();
+  // s.cells deliberately kept: it tracks Shared object lifetime, not
+  // transactions, and the objects are still alive across a reset().
+}
+
+std::uint64_t count(Check c) { return st().counts[static_cast<std::size_t>(c)]; }
+
+std::uint64_t total() {
+  std::uint64_t n = 0;
+  for (const auto c : st().counts) n += c;
+  return n;
+}
+
+const std::vector<std::string>& reports() { return st().findings; }
+
+// ---- semantic-lock ledger ----
+
+void lock_acquired(const TxnId& owner, const void* table) {
+  if (owner.cpu < 0) return;  // not a live transaction id
+  st().held[owner][table]++;
+}
+
+void lock_released(const TxnId& owner, const void* table) {
+  State& s = st();
+  auto it = s.held.find(owner);
+  if (it == s.held.end()) return;  // stale prune after txn end: already settled
+  auto jt = it->second.find(table);
+  if (jt == it->second.end()) return;
+  if (--jt->second <= 0) it->second.erase(jt);
+  if (it->second.empty()) s.held.erase(it);
+}
+
+void locks_released_all(const TxnId& owner, const void* table) {
+  State& s = st();
+  auto it = s.held.find(owner);
+  if (it == s.held.end()) return;
+  it->second.erase(table);
+  if (it->second.empty()) s.held.erase(it);
+}
+
+// ---- transaction lifecycle ----
+
+void handler_pairing(const TxnId& id, std::size_t top_commit_handlers,
+                     std::size_t top_abort_handlers) {
+  // Abort-only registration is legal (compensation for an already-committed
+  // open-nested action, e.g. CompensatedCounter).  Commit-only is not: the
+  // open-nested state the commit handler publishes/releases has no
+  // compensation path on abort.
+  if (top_commit_handlers > 0 && top_abort_handlers == 0) {
+    report(Check::kUnpairedHandler,
+           id_str(id) + " registered " + std::to_string(top_commit_handlers) +
+               " top-level commit handler(s) but no abort handler");
+  }
+}
+
+void txn_finished(const TxnId& id, bool committed) {
+  State& s = st();
+  auto it = s.held.find(id);
+  if (it == s.held.end()) return;
+  long locks = 0;
+  for (const auto& [table, n] : it->second) locks += n;
+  report(Check::kLockLeak,
+         id_str(id) + (committed ? " committed" : " aborted") + " still holding " +
+             std::to_string(locks) + " semantic lock(s) across " +
+             std::to_string(it->second.size()) + " table(s), e.g. table " +
+             ptr_str(it->second.begin()->first));
+  s.held.erase(it);  // settle: later stale prunes for this owner are no-ops
+}
+
+void check_txn_sets(const detail::Txn& t) {
+  const TxnId id{t.cpu, t.incarnation};
+  if (t.write_idx.size() != t.writes.size()) {
+    report(Check::kSetCorruption,
+           id_str(id) + " write-set index has " + std::to_string(t.write_idx.size()) +
+               " entries but redo log has " + std::to_string(t.writes.size()));
+  }
+  for (const auto& [addr, idx] : t.write_idx) {
+    if (idx >= t.writes.size() || t.writes[idx].addr != addr) {
+      report(Check::kSetCorruption,
+             id_str(id) + " write-set index entry for " +
+                 ptr_str(reinterpret_cast<const void*>(addr)) +
+                 " does not match its redo-log slot");
+      break;  // one detailed report per commit is enough
+    }
+  }
+  for (const auto& u : t.write_undo) {
+    if (u.idx >= t.writes.size()) {
+      report(Check::kSetCorruption,
+             id_str(id) + " write-undo entry points past the redo log");
+      break;
+    }
+  }
+  if (static_cast<std::size_t>(t.depth) != t.marks.size()) {
+    report(Check::kSetCorruption,
+           id_str(id) + " frame depth " + std::to_string(t.depth) + " != " +
+               std::to_string(t.marks.size()) + " frame marks");
+  }
+  for (const auto& [line, frame] : t.read_frame) {
+    if (frame < 0 || frame > t.depth) {
+      report(Check::kSetCorruption,
+             id_str(id) + " read-set entry owned by frame " + std::to_string(frame) +
+                 " outside [0, " + std::to_string(t.depth) + "]");
+      break;
+    }
+  }
+}
+
+// ---- Shared-cell registry ----
+
+void note_shared(std::uintptr_t addr, std::uint32_t size) { st().cells[addr] = size; }
+
+void forget_shared(std::uintptr_t addr) { st().cells.erase(addr); }
+
+void naked_store(std::uintptr_t addr) {
+  State& s = st();
+  auto it = s.cells.find(addr);
+  if (it == s.cells.end()) return;
+  report(Check::kNakedStore,
+         "naked (non-transactional) store from a worker to registered Shared cell " +
+             ptr_str(reinterpret_cast<const void*>(addr)) + " (" +
+             std::to_string(it->second) + " bytes) bypasses commit arbitration");
+}
+
+}  // namespace atomos::audit
+
+#endif  // TXCC_CHECKED

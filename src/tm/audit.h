@@ -1,0 +1,101 @@
+// txcheck layer 2: the TXCC_CHECKED runtime invariant auditor.
+//
+// Compiled in with -DTXCC_CHECKED=1 (CMake option TXCC_CHECKED).  A
+// per-transaction audit ledger cross-checks, at runtime, the discipline the
+// static lint (tools/txlint) can only approximate from source text:
+//
+//  * semantic-lock acquire/release pairing — every lock a top-level
+//    transaction takes in a LockerSet / KeyLockTable / RangeLockTable must
+//    be released by the time that transaction finishes (commit handler on
+//    commit, abort handler on abort).  A lock still held when the
+//    transaction is gone is a LEAK: no one will ever release it, and every
+//    later writer of that key is violated or serialized forever;
+//  * handler pairing — a top-level transaction that registered commit
+//    handlers but no abort handler cannot compensate its open-nested
+//    effects and is reported;
+//  * read/write-set consistency — while the commit token is held the
+//    transaction's redo log and read set must be internally consistent
+//    (index maps and logs agree) before the write set is broadcast;
+//  * naked stores — a non-transactional store from a worker fiber in Tcc
+//    mode to a registered Shared cell bypasses commit arbitration and is
+//    reported (legal at the memory level, but almost always a missing
+//    `atomically`).
+//
+// Findings are counted and recorded (query with count()/reports()); the
+// first few are echoed to stderr.  The auditor never throws or aborts: the
+// negative tests in tests/tm/checked_runtime_test.cpp assert on the
+// counters, and production code pays nothing when TXCC_CHECKED is off (all
+// hooks collapse to empty inlines).
+//
+// Thread model: state is thread_local, matching the runtime's "one Runtime
+// per host thread, all fibers of an engine on that thread" design.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tm/runtime.h"
+
+namespace atomos::audit {
+
+enum class Check {
+  kLockLeak = 0,
+  kUnpairedHandler,
+  kSetCorruption,
+  kNakedStore,
+  kChecks  // count sentinel
+};
+
+#if defined(TXCC_CHECKED) && TXCC_CHECKED
+
+inline constexpr bool kEnabled = true;
+
+/// Clears counters, reports and the lock ledger (not the Shared-cell
+/// registry, which tracks object lifetime, not transactions).
+void reset();
+
+std::uint64_t count(Check c);
+std::uint64_t total();
+const std::vector<std::string>& reports();
+
+// ---- hooks: semantic-lock ledger (called by core/lockers.h) ----
+void lock_acquired(const TxnId& owner, const void* table);
+void lock_released(const TxnId& owner, const void* table);   // missing entry: no-op
+void locks_released_all(const TxnId& owner, const void* table);
+
+// ---- hooks: transaction lifecycle (called by tm/runtime.cpp) ----
+void handler_pairing(const TxnId& id, std::size_t top_commit_handlers,
+                     std::size_t top_abort_handlers);
+void txn_finished(const TxnId& id, bool committed);
+void check_txn_sets(const detail::Txn& t);
+
+// ---- hooks: Shared-cell registry (called by tm/shared.h) ----
+void note_shared(std::uintptr_t addr, std::uint32_t size);
+void forget_shared(std::uintptr_t addr);
+void naked_store(std::uintptr_t addr);
+
+#else  // !TXCC_CHECKED — every hook is a free empty inline
+
+inline constexpr bool kEnabled = false;
+
+inline void reset() {}
+inline std::uint64_t count(Check) { return 0; }
+inline std::uint64_t total() { return 0; }
+inline const std::vector<std::string>& reports() {
+  static const std::vector<std::string> kNone;
+  return kNone;
+}
+inline void lock_acquired(const TxnId&, const void*) {}
+inline void lock_released(const TxnId&, const void*) {}
+inline void locks_released_all(const TxnId&, const void*) {}
+inline void handler_pairing(const TxnId&, std::size_t, std::size_t) {}
+inline void txn_finished(const TxnId&, bool) {}
+inline void check_txn_sets(const detail::Txn&) {}
+inline void note_shared(std::uintptr_t, std::uint32_t) {}
+inline void forget_shared(std::uintptr_t) {}
+inline void naked_store(std::uintptr_t) {}
+
+#endif
+
+}  // namespace atomos::audit

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "tm/audit.h"
 #include "tm/profile.h"
 
 namespace atomos {
@@ -324,6 +325,9 @@ void Runtime::commit_txn(Txn* t) {
     acquire_token(t->cpu);
     try {
       check_kill(t->cpu);  // last chance: flagged while queueing for the token
+      // With the token held and the logs final, the read/write sets must be
+      // internally consistent before anything is broadcast (txcheck).
+      audit::check_txn_sets(*t);
       // Run commit handlers inside the token, each as a closed-nested
       // frame; they may register further commit handlers (run too).
       if (runs_handlers) {
@@ -370,6 +374,13 @@ void Runtime::commit_txn(Txn* t) {
       for (auto& h : t->abort_handlers) t->parent->abort_handlers.push_back(std::move(h));
     }
   }
+  if (t->parent == nullptr) {
+    // Bottom of the open-nesting stack: the incarnation is over.  Commit
+    // handlers have run, so every semantic lock it took must be gone.
+    const TxnId id{t->cpu, t->incarnation};
+    audit::handler_pairing(id, t->top_commit_handlers.size(), t->top_abort_handlers.size());
+    audit::txn_finished(id, /*committed=*/true);
+  }
   c.cur = t->parent;
   delete t;
   if (!purgatory_.empty()) collect_garbage();
@@ -414,6 +425,12 @@ void Runtime::abort_txn(Txn* t) {
     c.cur = saved;
   }
 
+  if (t->parent == nullptr) {
+    // Compensation has run; any semantic lock still on the books is leaked.
+    const TxnId id{t->cpu, t->incarnation};
+    audit::handler_pairing(id, t->top_commit_handlers.size(), t->top_abort_handlers.size());
+    audit::txn_finished(id, /*committed=*/false);
+  }
   const std::uint64_t penalty = eng_.config().violation_cycles +
                                 cm_->backoff_cycles(t->cpu, t->attempt);
   delete t;
@@ -474,6 +491,7 @@ void Runtime::tm_write(std::uintptr_t addr, const void* in, std::uint32_t size,
   if (t == nullptr) {
     // Non-transactional store in Tcc mode: commits instantly; flag any
     // in-flight reader of the line (mini TCC commit).
+    audit::naked_store(addr);
     std::memcpy(committed, in, size);
     const sim::LineAddr line = sim::line_of(addr);
     eng_.memsys().invalidate_copies(cpu, line);

@@ -23,6 +23,7 @@
 #include <type_traits>
 
 #include "sim/engine.h"
+#include "tm/audit.h"
 #include "tm/profile.h"
 #include "tm/runtime.h"
 
@@ -34,7 +35,9 @@ class Shared {
   static_assert(sizeof(T) <= 8, "Shared<T> holds at most a machine word");
 
  public:
-  Shared() : v_{} {}
+  Shared() : v_{} {
+    audit::note_shared(reinterpret_cast<std::uintptr_t>(&v_), sizeof(T));
+  }
 
   /// `name` (optional) labels this cell's cache line for TAPE-style
   /// conflict profiling; pass a string with static storage duration.
@@ -42,7 +45,13 @@ class Shared {
     if (name != nullptr) {
       Profile::instance().note_range(reinterpret_cast<std::uintptr_t>(&v_), sizeof(T), name);
     }
+    audit::note_shared(reinterpret_cast<std::uintptr_t>(&v_), sizeof(T));
   }
+
+#if defined(TXCC_CHECKED) && TXCC_CHECKED
+  // Only under TXCC_CHECKED: keeps Shared trivially destructible otherwise.
+  ~Shared() { audit::forget_shared(reinterpret_cast<std::uintptr_t>(&v_)); }
+#endif
 
   Shared(const Shared&) = delete;
   Shared& operator=(const Shared&) = delete;

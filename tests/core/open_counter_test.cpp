@@ -132,9 +132,12 @@ TEST(OpenCounterTest, UidGeneratorUniqueAndMonotonicWithHoles) {
           const long id = uids.next();
           hot.set(hot.get() + 1);
           atomos::work(200);
-          // Only record on commit (the handler runs iff we commit).
+          // Only record on commit (the handler runs iff we commit).  The
+          // no-op abort handler pairs it for the TXCC_CHECKED auditor: this
+          // commit handler observes, it does not publish open-nested state.
           atomos::Runtime::current().on_top_commit(
               [&per_cpu, c, id] { per_cpu[static_cast<std::size_t>(c)].push_back(id); });
+          atomos::Runtime::current().on_top_abort([] {});
         });
       }
     });

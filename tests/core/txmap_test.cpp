@@ -277,8 +277,11 @@ TEST(TxMapTest, SerializabilityUnderRandomWorkload) {
             }
             atomos::work(40);
           }
+          // Commit-order observation only; the no-op abort handler pairs it
+          // for the TXCC_CHECKED auditor.
           atomos::Runtime::current().on_top_commit(
               [&committed, &rec] { committed.push_back(rec); });
+          atomos::Runtime::current().on_top_abort([] {});
         });
       }
     });

@@ -1,0 +1,214 @@
+// Tests for the TXCC_CHECKED runtime invariant auditor (txcheck layer 2).
+//
+// Only built when the tree is configured with -DTXCC_CHECKED=ON (see
+// tests/tm/CMakeLists.txt).  Each negative test deliberately breaks one
+// piece of transactional discipline and asserts the auditor reports it;
+// the positive tests assert the auditor stays silent on correct code.
+#include "tm/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/lockers.h"
+#include "core/txmap.h"
+#include "jstd/hashmap.h"
+#include "tm/runtime.h"
+#include "tm/shared.h"
+
+namespace atomos {
+namespace {
+
+static_assert(audit::kEnabled, "checked_runtime_test requires -DTXCC_CHECKED=ON");
+
+sim::Config tcc_cfg(int cpus) {
+  sim::Config c;
+  c.num_cpus = cpus;
+  c.mode = sim::Mode::kTcc;
+  return c;
+}
+
+class CheckedRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { audit::reset(); }
+  void TearDown() override { audit::reset(); }
+};
+
+// A transaction that takes a semantic key lock and registers no cleanup
+// handler leaks the lock past its own commit: nobody will ever release it.
+TEST_F(CheckedRuntimeTest, ReportsSemanticLockLeakedPastCommit) {
+  tcc::KeyLockTable<long> locks;
+  {
+    sim::Engine eng(tcc_cfg(1));
+    Runtime rt(eng);
+    eng.spawn([&] {
+      atomically([&] {
+        locks.lock(7, self_id());  // read intent... and no release handler
+      });
+    });
+    eng.run();
+  }
+  EXPECT_EQ(audit::count(audit::Check::kLockLeak), 1u);
+  ASSERT_FALSE(audit::reports().empty());
+  EXPECT_NE(audit::reports()[0].find("semantic lock"), std::string::npos);
+  // The stale entry must not keep reporting once the owner is settled: a
+  // later writer pruning the dead owner is a no-op for the auditor.
+  {
+    sim::Engine eng(tcc_cfg(1));
+    Runtime rt(eng);
+    eng.spawn([&] {
+      atomically([&] { locks.violate_holders(7, self_id()); });
+    });
+    eng.run();
+  }
+  EXPECT_EQ(audit::count(audit::Check::kLockLeak), 1u);
+}
+
+TEST_F(CheckedRuntimeTest, ReportsSemanticLockLeakedPastAbort) {
+  sim::Engine eng(tcc_cfg(2));
+  Runtime rt(eng);
+  tcc::KeyLockTable<long> locks;
+  Shared<int> hot(0);
+  int attempts = 0;
+  eng.spawn([&] {
+    atomically([&] {
+      ++attempts;
+      // Lock under a fresh incarnation each attempt; never unlock.  On the
+      // first (violated) attempt the lock leaks past the abort.
+      locks.lock(1, self_id());
+      hot.set(hot.get() + 1);
+      Runtime::current().work(2000);  // stay speculative long enough to lose
+    });
+  });
+  eng.spawn([&] {
+    Runtime::current().work(100);
+    atomically([&] { hot.set(hot.get() + 10); });
+  });
+  eng.run();
+  ASSERT_GT(attempts, 1) << "test needs at least one violation to exercise abort";
+  // Every finished incarnation (aborted attempts + the final commit) leaked.
+  EXPECT_EQ(audit::count(audit::Check::kLockLeak), static_cast<std::uint64_t>(attempts));
+}
+
+// Correct discipline: release the lock in paired commit/abort handlers, the
+// way the transactional collections do.  The auditor must stay silent.
+TEST_F(CheckedRuntimeTest, PairedHandlersReleaseCleanly) {
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  tcc::KeyLockTable<long> locks;
+  eng.spawn([&] {
+    atomically([&] {
+      const TxnId me = self_id();
+      locks.lock(7, me);
+      Runtime::current().on_top_commit([&locks, me] { locks.unlock(7, me); });
+      Runtime::current().on_top_abort([&locks, me] { locks.unlock(7, me); });
+    });
+  });
+  eng.run();
+  EXPECT_EQ(audit::total(), 0u) << (audit::reports().empty() ? "" : audit::reports()[0]);
+  EXPECT_EQ(locks.locked_key_count(), 0u);
+}
+
+TEST_F(CheckedRuntimeTest, ReportsTopCommitHandlerWithoutAbortHandler) {
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  eng.spawn([&] {
+    atomically([&] {
+      Runtime::current().on_top_commit([] {});  // no paired on_top_abort
+    });
+  });
+  eng.run();
+  EXPECT_EQ(audit::count(audit::Check::kUnpairedHandler), 1u);
+  ASSERT_FALSE(audit::reports().empty());
+  EXPECT_NE(audit::reports()[0].find("no abort handler"), std::string::npos);
+}
+
+// Abort-only registration is the legal CompensatedCounter shape: never flag.
+TEST_F(CheckedRuntimeTest, AbortOnlyHandlerIsLegal) {
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  eng.spawn([&] {
+    atomically([&] { Runtime::current().on_top_abort([] {}); });
+  });
+  eng.run();
+  EXPECT_EQ(audit::count(audit::Check::kUnpairedHandler), 0u);
+}
+
+// A worker-fiber store to a registered Shared cell outside any transaction
+// bypasses commit arbitration: the auditor must call it out.
+TEST_F(CheckedRuntimeTest, ReportsNakedStoreFromWorker) {
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  Shared<int> x(0);
+  eng.spawn([&] {
+    x.set(42);  // naked: no enclosing atomically
+  });
+  eng.run();
+  EXPECT_EQ(x.unsafe_peek(), 42);  // the store itself still works
+  EXPECT_EQ(audit::count(audit::Check::kNakedStore), 1u);
+  ASSERT_FALSE(audit::reports().empty());
+  EXPECT_NE(audit::reports()[0].find("naked"), std::string::npos);
+}
+
+TEST_F(CheckedRuntimeTest, TransactionalStoresAreNotNaked) {
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  Shared<int> x(0);
+  eng.spawn([&] {
+    atomically([&] { x.set(42); });
+    open_atomically([&] { x.set(43); });
+  });
+  eng.run();
+  EXPECT_EQ(x.unsafe_peek(), 43);
+  EXPECT_EQ(audit::count(audit::Check::kNakedStore), 0u);
+}
+
+// A destroyed Shared cell must be forgotten: a worker store to a *different*
+// object reusing the address is that object's business, and setup/teardown
+// stores never report at all (not in a worker fiber).
+TEST_F(CheckedRuntimeTest, SetupStoresAndDeadCellsDoNotReport) {
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  auto cell = std::make_unique<Shared<int>>(1);
+  cell->set(2);  // setup-thread store: raw access, no report
+  cell.reset();  // unregisters
+  eng.spawn([&] {
+    atomically([] {});
+  });
+  eng.run();
+  EXPECT_EQ(audit::count(audit::Check::kNakedStore), 0u);
+}
+
+// End-to-end clean path: a TransactionalMap workload under contention —
+// semantic locks taken and released by the collection's own paired handlers,
+// open-nested commits, retries — must leave the auditor with nothing to say.
+TEST_F(CheckedRuntimeTest, TransactionalMapWorkloadIsClean) {
+  constexpr int kCpus = 4;
+  sim::Engine eng(tcc_cfg(kCpus));
+  Runtime rt(eng);
+  tcc::TransactionalMap<long, long> map(std::make_unique<jstd::HashMap<long, long>>(64));
+  for (int c = 0; c < kCpus; ++c) {
+    eng.spawn([&, c] {
+      std::uint64_t s = static_cast<std::uint64_t>(c) + 1;
+      for (int i = 0; i < 20; ++i) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        const long key = static_cast<long>((s >> 33) % 8);
+        atomically([&] {
+          if (map.get(key).has_value()) {
+            map.put(key, key * 10 + c);
+          } else {
+            map.put(key, c);
+          }
+          work(50);
+        });
+      }
+    });
+  }
+  eng.run();
+  EXPECT_GT(eng.stats().total(&sim::CpuStats::commits), 0u);
+  EXPECT_EQ(audit::total(), 0u) << (audit::reports().empty() ? "" : audit::reports()[0]);
+}
+
+}  // namespace
+}  // namespace atomos

@@ -1,0 +1,245 @@
+// Precision tests for the txlint scanner: each rule must fire exactly where
+// the fixture plants a violation, and stay quiet on the idiomatic patterns
+// the real tree uses (paired handlers, oracle wrappers, by-ref captures,
+// suppression comments).
+#include "scanner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace txlint {
+namespace {
+
+std::vector<Finding> scan(std::string_view src, const Options& opts = {}) {
+  return scan_source("fixture.cpp", src, opts);
+}
+
+std::vector<Finding> of_rule(const std::vector<Finding>& fs, std::string_view rule) {
+  std::vector<Finding> out;
+  for (const auto& f : fs) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+bool fires_at(const std::vector<Finding>& fs, std::string_view rule, int line) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.rule == rule && f.line == line; });
+}
+
+TEST(TxlintRules, FiveRulesRegistered) {
+  const auto& rs = rules();
+  ASSERT_EQ(rs.size(), 5u);
+  std::vector<std::string_view> names;
+  for (const auto& r : rs) names.push_back(r.name);
+  for (const char* want : {"shared-field", "raw-peek", "catch-swallow",
+                           "unpaired-handler", "shared-value-capture"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end()) << want;
+  }
+}
+
+// ---- shared-field ----
+
+TEST(SharedFieldRule, FlagsMutablePrimitiveAndPointerMembersInJstd) {
+  const std::string src =
+      "namespace jstd {\n"                        // 1
+      "template <class K>\n"                      // 2
+      "class Node {\n"                            // 3
+      " public:\n"                                // 4
+      "  int count_;\n"                           // 5  <- primitive
+      "  Node* next_;\n"                          // 6  <- raw pointer
+      "  atomos::Shared<long> ok_;\n"             // 7
+      "  const int fixed_ = 3;\n"                 // 8
+      "  std::size_t size() const { return 0; }\n"  // 9
+      "};\n"                                      // 10
+      "}\n";
+  const auto fs = scan(src);
+  const auto sf = of_rule(fs, "shared-field");
+  EXPECT_EQ(sf.size(), 2u);
+  EXPECT_TRUE(fires_at(fs, "shared-field", 5));
+  EXPECT_TRUE(fires_at(fs, "shared-field", 6));
+}
+
+TEST(SharedFieldRule, IgnoresOutsideJstdAndTransactionLocalClasses) {
+  const std::string src =
+      "namespace jbb {\n"
+      "class Model { int plain_; };\n"  // not jstd: fine
+      "}\n"
+      "namespace jstd {\n"
+      "class MapIter { long pos_; };\n"    // *Iter*: transaction-local
+      "class LockGuard { bool held_; };\n"  // *Guard*: RAII
+      "class Table { Node* const head_; };\n"  // const anywhere: immutable
+      "}\n";
+  EXPECT_TRUE(of_rule(scan(src), "shared-field").empty());
+}
+
+// ---- raw-peek ----
+
+TEST(RawPeekRule, FlagsPeekCallsAndReachThroughOutsideOracles) {
+  const std::string src =
+      "long workload(const atomos::Shared<long>& x, Cell* c) {\n"  // 1
+      "  long a = x.unsafe_peek();\n"                              // 2  <- call
+      "  long b = c->v_;\n"                                        // 3  <- reach-through
+      "  return a + b;\n"                                          // 4
+      "}\n";
+  const auto fs = scan(src);
+  EXPECT_EQ(of_rule(fs, "raw-peek").size(), 2u);
+  EXPECT_TRUE(fires_at(fs, "raw-peek", 2));
+  EXPECT_TRUE(fires_at(fs, "raw-peek", 3));
+}
+
+TEST(RawPeekRule, ExemptsOracleWrappersDestructorsAndTheDeclarationItself) {
+  const std::string src =
+      "struct Cell {\n"
+      "  long unsafe_peek() const { return v2; }\n"  // the oracle API itself
+      "  long v2;\n"
+      "};\n"
+      "long unsafe_total(const Cell& c) { return c.unsafe_peek(); }\n"  // unsafe_* wrapper
+      "struct Owner {\n"
+      "  ~Owner() { cleanup(cell.unsafe_peek()); }\n"  // teardown
+      "  Cell cell;\n"
+      "};\n";
+  EXPECT_TRUE(of_rule(scan(src), "raw-peek").empty());
+}
+
+// ---- catch-swallow ----
+
+TEST(CatchSwallowRule, FlagsSwallowedUnwinds) {
+  const std::string src =
+      "void f() {\n"                                     // 1
+      "  try { g(); } catch (...) {\n"                   // 2  <- swallows
+      "    log();\n"                                     // 3
+      "  }\n"                                            // 4
+      "  try { g(); } catch (const Violated& v) {\n"     // 5  <- swallows
+      "    count++;\n"                                   // 6
+      "  }\n"                                            // 7
+      "}\n";
+  const auto fs = scan(src);
+  EXPECT_EQ(of_rule(fs, "catch-swallow").size(), 2u);
+  EXPECT_TRUE(fires_at(fs, "catch-swallow", 2));
+  EXPECT_TRUE(fires_at(fs, "catch-swallow", 5));
+}
+
+TEST(CatchSwallowRule, AllowsEscapingBodiesAndSpecificExceptions) {
+  const std::string src =
+      "void f() {\n"
+      "  try { g(); } catch (...) { cleanup(); throw; }\n"       // rethrows
+      "  try { g(); } catch (const Violated&) { std::abort(); }\n"  // dies
+      "  try { g(); } catch (const std::exception& e) { log(e); }\n"  // specific
+      "}\n";
+  EXPECT_TRUE(of_rule(scan(src), "catch-swallow").empty());
+}
+
+// ---- unpaired-handler ----
+
+TEST(UnpairedHandlerRule, FlagsCommitWithoutAbortAtBothLevels) {
+  const std::string src =
+      "void leaky_top() {\n"                                  // 1
+      "  rt.on_top_commit([&] { locks.clear(); });\n"         // 2  <- unpaired
+      "}\n"                                                   // 3
+      "void leaky_nested() {\n"                               // 4
+      "  atomos::on_commit([&] { publish(); });\n"            // 5  <- unpaired
+      "}\n";
+  const auto fs = scan(src);
+  EXPECT_EQ(of_rule(fs, "unpaired-handler").size(), 2u);
+  EXPECT_TRUE(fires_at(fs, "unpaired-handler", 2));
+  EXPECT_TRUE(fires_at(fs, "unpaired-handler", 5));
+}
+
+TEST(UnpairedHandlerRule, AllowsPairedAndAbortOnlyRegistration) {
+  const std::string src =
+      "void disciplined() {\n"
+      "  rt.on_top_commit([&] { locks.clear(); });\n"
+      "  rt.on_top_abort([&] { locks.clear(); });\n"
+      "}\n"
+      "void compensating_only() {\n"
+      "  rt.on_top_abort([&] { counter.sub(delta); });\n"  // CompensatedCounter shape
+      "}\n";
+  EXPECT_TRUE(of_rule(scan(src), "unpaired-handler").empty());
+}
+
+// ---- shared-value-capture ----
+
+TEST(SharedCaptureRule, FlagsByValueCapturesOfSharedLocals) {
+  const std::string src =
+      "void f() {\n"                                   // 1
+      "  atomos::Shared<int> x(1);\n"                  // 2
+      "  auto a = [x] { return 0; };\n"                // 3  <- named by-value
+      "  auto b = [y = x] { return 0; };\n"            // 4  <- init-capture copy
+      "  auto c = [=] { return x.get(); };\n"          // 5  <- default copy, uses x
+      "  (void)a; (void)b; (void)c;\n"                 // 6
+      "}\n";
+  const auto fs = scan(src);
+  EXPECT_EQ(of_rule(fs, "shared-value-capture").size(), 3u);
+  EXPECT_TRUE(fires_at(fs, "shared-value-capture", 3));
+  EXPECT_TRUE(fires_at(fs, "shared-value-capture", 4));
+  EXPECT_TRUE(fires_at(fs, "shared-value-capture", 5));
+}
+
+TEST(SharedCaptureRule, AllowsReferenceCaptures) {
+  const std::string src =
+      "void f() {\n"
+      "  atomos::Shared<int> x(1);\n"
+      "  auto a = [&x] { return x.get(); };\n"
+      "  auto b = [&] { return x.get(); };\n"
+      "  auto c = [=] { return 42; };\n"  // [=] but no Shared use in body
+      "  (void)a; (void)b; (void)c;\n"
+      "}\n";
+  EXPECT_TRUE(of_rule(scan(src), "shared-value-capture").empty());
+}
+
+// ---- suppressions and options ----
+
+TEST(Suppressions, LineRegionAndFileForms) {
+  const std::string line_form =
+      "long f(const atomos::Shared<long>& x) {\n"
+      "  // txlint: allow(raw-peek) - fixture\n"
+      "  return x.unsafe_peek();\n"  // next line after the comment: suppressed
+      "}\n";
+  EXPECT_TRUE(scan(line_form).empty());
+
+  const std::string region_form =
+      "// txlint: begin-allow(raw-peek)\n"
+      "long f(const atomos::Shared<long>& x) { return x.unsafe_peek(); }\n"
+      "// txlint: end-allow(raw-peek)\n"
+      "long g(const atomos::Shared<long>& x) { return x.unsafe_peek(); }\n";  // outside
+  const auto fs = scan(region_form);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 4);
+
+  const std::string file_form =
+      "// txlint: allow-file(*)\n"
+      "long f(const atomos::Shared<long>& x) { return x.unsafe_peek(); }\n"
+      "void g() { try {} catch (...) {} }\n";
+  EXPECT_TRUE(scan(file_form).empty());
+}
+
+TEST(Options, OnlyRulesFilterRestrictsScan) {
+  const std::string src =
+      "long f(const atomos::Shared<long>& x) {\n"
+      "  try { g(); } catch (...) { log(); }\n"
+      "  return x.unsafe_peek();\n"
+      "}\n";
+  Options only;
+  only.only_rules = {"catch-swallow"};
+  const auto fs = scan(src, only);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "catch-swallow");
+}
+
+// Comments and string literals never trigger rules.
+TEST(Cleaning, CommentsAndStringsAreInert) {
+  const std::string src =
+      "void f() {\n"
+      "  // x.unsafe_peek() in a comment\n"
+      "  const char* s = \"catch (...) { } x.unsafe_peek()\";\n"
+      "  (void)s;\n"
+      "}\n";
+  EXPECT_TRUE(scan(src).empty());
+}
+
+}  // namespace
+}  // namespace txlint

@@ -1,0 +1,27 @@
+// BAD: catch blocks that can swallow the internal Violated unwind.  A doomed
+// transaction that is "caught" keeps running with a poisoned read set.
+#include "tm/runtime.h"
+
+namespace demo {
+
+int swallow_everything(int x) {
+  try {
+    atomos::work(10);
+    return x + 1;
+  } catch (...) {
+    // BAD: no rethrow — a Violated unwind dies here and the doomed
+    // transaction continues as if nothing happened.
+    return -1;
+  }
+}
+
+int swallow_violated() {
+  try {
+    atomos::work(10);
+  } catch (const atomos::Violated& v) {
+    return 0;  // BAD: user code must never handle Violated itself
+  }
+  return 1;
+}
+
+}  // namespace demo

@@ -1,0 +1,19 @@
+// BAD: workload code reading the committed value behind a Shared cell.
+#include "tm/shared.h"
+
+namespace demo {
+
+long racy_sum(const atomos::Shared<long>& a, const atomos::Shared<long>& b) {
+  // BAD: bypasses the read set — the transaction cannot be violated on `a`.
+  return a.unsafe_peek() + b.get();
+}
+
+struct Holder {
+  atomos::Shared<long> cell;
+};
+
+long reach_through(Holder* h) {
+  return h->cell.unsafe_peek();  // BAD: same bypass via a pointer
+}
+
+}  // namespace demo

@@ -1,0 +1,26 @@
+// BAD: Shared<T> objects captured by value in lambdas.  The capture would
+// copy the cell (its address IS its identity for conflict detection), so the
+// lambda operates on a private clone no other CPU can conflict with.
+#include "tm/shared.h"
+
+namespace demo {
+
+void by_name_capture() {
+  atomos::Shared<long> counter(0);
+  auto bump = [counter] { (void)counter; };  // BAD: by-value capture
+  bump();
+}
+
+void default_copy_capture() {
+  atomos::Shared<int> flag(0);
+  auto probe = [=] { return flag.get(); };  // BAD: [=] copies `flag`
+  (void)probe;
+}
+
+void reference_is_fine() {
+  atomos::Shared<long> ok(1);
+  auto good = [&ok] { ok.set(2); };  // ok: by reference
+  good();
+}
+
+}  // namespace demo

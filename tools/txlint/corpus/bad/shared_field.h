@@ -1,0 +1,28 @@
+// BAD: jstd node/collection types holding mutable shared state outside
+// Shared<T>.  Each flagged line is a memory-level race under the simulator.
+#pragma once
+
+#include "tm/shared.h"
+
+namespace jstd {
+
+template <class K, class V>
+class LeakyMap {
+ public:
+  long size() const { return size_; }
+
+ private:
+  struct Node {
+    atomos::Shared<K> key;
+    V val;          // NOT flagged: V is an opaque template type
+    Node* next;     // BAD: raw-pointer link traversed by other CPUs
+  };
+
+  long size_;       // BAD: the paper's classic contended size field, unwrapped
+  float load_;      // BAD: mutable primitive
+  const int cap_ = 8;          // ok: immutable
+  static constexpr int kA = 1; // ok: static
+  atomos::Shared<Node*> head_; // ok: wrapped
+};
+
+}  // namespace jstd

@@ -1,0 +1,29 @@
+// BAD: open-nested bodies that register a commit handler without the paired
+// abort handler.  On abort the semantic locks taken by the open-nested
+// operation leak forever (every later writer of the key is serialized).
+#include "tm/runtime.h"
+
+namespace demo {
+
+struct Table {
+  void apply();
+  void release();
+};
+
+void forgetful_registration(Table* t) {
+  atomos::open_atomically([&] {
+    // ... take semantic locks, buffer the write ...
+  });
+  atomos::Runtime::current().on_top_commit([t] {
+    t->apply();
+    t->release();
+  });
+  // BAD: no on_top_abort — an aborting parent never calls t->release().
+}
+
+void forgetful_frame_registration(Table* t) {
+  atomos::on_commit([t] { t->apply(); });
+  // BAD: no on_abort in the same function.
+}
+
+}  // namespace demo

@@ -1,0 +1,43 @@
+// GOOD: a jstd-style node type following every rule — nothing in this file
+// may be flagged.
+#pragma once
+
+#include "tm/runtime.h"
+#include "tm/shared.h"
+
+namespace jstd {
+
+template <class K, class V>
+class CleanList {
+ public:
+  long size() const { return size_.get(); }
+
+  /// Oracle accessors named unsafe_* may peek at committed state.
+  long unsafe_size() const {
+    return size_.unsafe_peek();  // txlint: allow(raw-peek) - oracle accessor
+  }
+
+  ~CleanList() {
+    Node* n = head_.unsafe_peek();  // destructors are teardown: exempt
+    (void)n;
+  }
+
+ private:
+  struct Node {
+    atomos::Shared<K> key;
+    atomos::Shared<V> val;
+    atomos::Shared<Node*> next;
+    const int height = 1;
+  };
+
+  class Iter {
+    Node* n_ = nullptr;  // iterator state is transaction-local: exempt
+    int pos_ = 0;
+  };
+
+  Hash hash_;  // stateless functor: exempt (not a primitive, not a pointer)
+  atomos::Shared<long> size_;
+  atomos::Shared<Node*> head_;
+};
+
+}  // namespace jstd

@@ -1,0 +1,119 @@
+// txlint CLI: walks the given files/directories and reports discipline
+// violations.  Exit status: 0 = clean, 1 = findings, 2 = usage/IO error.
+//
+//   txlint [--rule=a,b] [--list-rules] <path>...
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scanner.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" || ext == ".cxx";
+}
+
+int lint_file(const fs::path& p, const txlint::Options& opts,
+              std::vector<txlint::Finding>& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    std::cerr << "txlint: cannot read " << p << "\n";
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  auto findings = txlint::scan_source(p.generic_string(), content, opts);
+  out.insert(out.end(), findings.begin(), findings.end());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  txlint::Options opts;
+  std::vector<fs::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : txlint::rules()) {
+        std::cout << r.name << "\n    " << r.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg.rfind("--rule=", 0) == 0) {
+      std::string list = arg.substr(7);
+      std::string cur;
+      for (char c : list + ",") {
+        if (c == ',') {
+          if (!cur.empty()) opts.only_rules.push_back(cur);
+          cur.clear();
+        } else {
+          cur += c;
+        }
+      }
+      // A typo'd rule name would silently lint nothing and exit clean.
+      const auto& known = txlint::rules();
+      for (const auto& name : opts.only_rules) {
+        const bool ok = std::any_of(known.begin(), known.end(),
+                                    [&](const auto& r) { return r.name == name; });
+        if (!ok) {
+          std::cerr << "txlint: unknown rule '" << name
+                    << "' (see --list-rules)\n";
+          return 2;
+        }
+      }
+      if (opts.only_rules.empty()) {
+        std::cerr << "txlint: --rule= requires at least one rule name\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: txlint [--rule=a,b] [--list-rules] <path>...\n";
+      return 0;
+    }
+    paths.emplace_back(arg);
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: txlint [--rule=a,b] [--list-rules] <path>...\n";
+    return 2;
+  }
+
+  std::vector<txlint::Finding> findings;
+  int files = 0;
+  for (const auto& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      std::vector<fs::path> in_dir;
+      for (const auto& e : fs::recursive_directory_iterator(p, ec)) {
+        if (e.is_regular_file() && lintable(e.path())) in_dir.push_back(e.path());
+      }
+      std::sort(in_dir.begin(), in_dir.end());
+      for (const auto& f : in_dir) {
+        ++files;
+        if (int rc = lint_file(f, opts, findings); rc != 0) return rc;
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      ++files;
+      if (int rc = lint_file(p, opts, findings); rc != 0) return rc;
+    } else {
+      std::cerr << "txlint: no such file or directory: " << p << "\n";
+      return 2;
+    }
+  }
+
+  for (const auto& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  std::cout << "txlint: " << files << " file(s), " << findings.size() << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}

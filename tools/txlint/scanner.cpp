@@ -1,0 +1,865 @@
+#include "scanner.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace txlint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule registry
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kSharedField = "shared-field";
+constexpr std::string_view kRawPeek = "raw-peek";
+constexpr std::string_view kCatchSwallow = "catch-swallow";
+constexpr std::string_view kUnpairedHandler = "unpaired-handler";
+constexpr std::string_view kSharedCapture = "shared-value-capture";
+
+const std::vector<RuleInfo> kRules = {
+    {kSharedField,
+     "mutable primitive or raw-pointer member of a jstd:: node/collection type "
+     "not wrapped in Shared<T>"},
+    {kRawPeek,
+     "direct access to a Shared cell's committed value (unsafe_peek / ->v_) "
+     "outside oracle code"},
+    {kCatchSwallow,
+     "catch (...) or catch (Violated) block that can swallow the TM unwind "
+     "(no rethrow/abort in body)"},
+    {kUnpairedHandler,
+     "commit handler registered without a paired abort handler in the same "
+     "function"},
+    {kSharedCapture, "Shared<T> object captured by value in a lambda"},
+};
+
+// ---------------------------------------------------------------------------
+// Suppression directives (parsed from the RAW text, comments included)
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  // rule -> set of suppressed lines ("*" entries recorded under each rule).
+  std::unordered_map<std::string, std::unordered_set<int>> lines;
+  std::unordered_set<std::string> whole_file;
+  bool all_file = false;
+
+  bool suppressed(std::string_view rule, int line) const {
+    if (all_file || whole_file.count(std::string(rule)) != 0) return true;
+    auto it = lines.find(std::string(rule));
+    return it != lines.end() && it->second.count(line) != 0;
+  }
+};
+
+std::vector<std::string> split_rule_list(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',' || c == ' ' || c == '\t') {
+      if (!cur.empty()) out.push_back(std::move(cur)), cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+Suppressions parse_suppressions(std::string_view content) {
+  Suppressions sup;
+  // region state: rule -> line the begin-allow appeared on (-1 = closed)
+  std::unordered_map<std::string, int> open_regions;
+  int line = 1;
+  std::size_t pos = 0;
+  auto mark = [&sup](const std::string& rule, int l) {
+    sup.lines[rule].insert(l);
+    sup.lines[rule].insert(l + 1);
+  };
+  while (pos < content.size()) {
+    const std::size_t eol = content.find('\n', pos);
+    const std::string_view ln =
+        content.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    const std::size_t tag = ln.find("txlint:");
+    if (tag != std::string_view::npos) {
+      const std::string_view rest = ln.substr(tag + 7);
+      auto grab = [&rest](std::string_view verb) -> std::optional<std::string_view> {
+        const std::size_t v = rest.find(verb);
+        if (v == std::string_view::npos) return std::nullopt;
+        const std::size_t open = rest.find('(', v + verb.size());
+        if (open == std::string_view::npos) return std::nullopt;
+        const std::size_t close = rest.find(')', open);
+        if (close == std::string_view::npos) return std::nullopt;
+        return rest.substr(open + 1, close - open - 1);
+      };
+      // Order matters: "allow(" is a substring of the other verbs' names, so
+      // probe the longer verbs first.
+      if (auto args = grab("allow-file")) {
+        for (const auto& r : split_rule_list(*args)) {
+          if (r == "*") {
+            sup.all_file = true;
+          } else {
+            sup.whole_file.insert(r);
+          }
+        }
+      } else if (auto args2 = grab("begin-allow")) {
+        for (const auto& r : split_rule_list(*args2)) open_regions[r] = line;
+      } else if (auto args3 = grab("end-allow")) {
+        for (const auto& r : split_rule_list(*args3)) {
+          auto it = open_regions.find(r);
+          if (it != open_regions.end() && it->second >= 0) {
+            for (int l = it->second; l <= line; ++l) sup.lines[r].insert(l);
+            it->second = -1;
+          }
+        }
+      } else if (auto args4 = grab("allow")) {
+        for (const auto& r : split_rule_list(*args4)) {
+          if (r == "*") {
+            for (const auto& info : kRules) mark(std::string(info.name), line);
+          } else {
+            mark(r, line);
+          }
+        }
+      }
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+    ++line;
+  }
+  // Unterminated regions run to EOF.
+  for (auto& [rule, start] : open_regions) {
+    if (start >= 0) {
+      for (int l = start; l <= line; ++l) sup.lines[rule].insert(l);
+    }
+  }
+  return sup;
+}
+
+// ---------------------------------------------------------------------------
+// Cleaning: blank comments, string/char literals and preprocessor lines so
+// the tokenizer sees pure code.  Newlines are preserved for line numbers.
+// ---------------------------------------------------------------------------
+
+std::string clean_source(std::string_view in) {
+  std::string out(in);
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  St st = St::kCode;
+  std::string raw_delim;  // for raw strings: ")delim\""
+  bool line_is_pp = false;
+  bool line_has_code = false;
+
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '\n') {
+          line_is_pp = false;
+          line_has_code = false;
+          continue;
+        }
+        if (!line_has_code && !line_is_pp && c == '#') {
+          line_is_pp = true;
+        }
+        if (line_is_pp) {
+          // Blank the whole preprocessor line (and its continuations).
+          if (c == '\\' && n == '\n') {
+            out[i] = ' ';
+            continue;  // keep line_is_pp across the continuation
+          }
+          out[i] = ' ';
+          continue;
+        }
+        if (!std::isspace(static_cast<unsigned char>(c))) line_has_code = true;
+        if (c == '/' && n == '/') {
+          st = St::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && n == '*') {
+          st = St::kBlockComment;
+          out[i] = ' ';
+        } else if (c == 'R' && n == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(in[i - 1])) &&
+                               in[i - 1] != '_'))) {
+          // Raw string R"delim( ... )delim"
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < in.size() && in[p] != '(' && delim.size() < 16) delim += in[p++];
+          if (p < in.size() && in[p] == '(') {
+            raw_delim = ")" + delim + "\"";
+            st = St::kRawString;
+            out[i] = ' ';
+          }
+        } else if (c == '"') {
+          st = St::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          st = St::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case St::kLineComment:
+        if (c == '\n') {
+          st = St::kCode;
+          line_is_pp = false;
+          line_has_code = false;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlockComment:
+        if (c == '*' && n == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kString:
+        if (c == '\\' && n != '\n') {
+          out[i] = ' ';
+          if (i + 1 < in.size() && n != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < in.size() && n != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kRawString:
+        if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) {
+            if (out[i + k] != '\n') out[i + k] = ' ';
+          }
+          i += raw_delim.size() - 1;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind;
+  std::string_view text;
+  int line;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<Token> tokenize(std::string_view s) {
+  std::vector<Token> toks;
+  int line = 1;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < s.size() && ident_char(s[j])) ++j;
+      toks.push_back({Token::Kind::kIdent, s.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < s.size() && (ident_char(s[j]) || s[j] == '.' || s[j] == '\'')) ++j;
+      toks.push_back({Token::Kind::kNumber, s.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Multi-char punctuators we rely on.  `<<`/`>>`/`<=`/`>=` are left as
+    // single chars so template-angle matching stays simple.
+    static constexpr std::array<std::string_view, 6> kTwo = {"::", "->", "&&",
+                                                             "||", "==", "!="};
+    if (s.compare(i, 3, "...") == 0) {
+      toks.push_back({Token::Kind::kPunct, s.substr(i, 3), line});
+      i += 3;
+      continue;
+    }
+    bool matched = false;
+    for (const auto& op : kTwo) {
+      if (s.compare(i, 2, op) == 0) {
+        toks.push_back({Token::Kind::kPunct, s.substr(i, 2), line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    toks.push_back({Token::Kind::kPunct, s.substr(i, 1), line});
+    ++i;
+  }
+  return toks;
+}
+
+// ---------------------------------------------------------------------------
+// Scanner proper
+// ---------------------------------------------------------------------------
+
+const std::unordered_set<std::string_view> kPrimitiveTypes = {
+    "bool",     "char",     "short",    "int",      "long",        "unsigned",
+    "signed",   "float",    "double",   "size_t",   "uintptr_t",   "intptr_t",
+    "uint8_t",  "uint16_t", "uint32_t", "uint64_t", "int8_t",      "int16_t",
+    "int32_t",  "int64_t",  "ptrdiff_t"};
+
+const std::unordered_set<std::string_view> kMemberSkipLead = {
+    "static", "constexpr", "using",     "typedef", "friend",    "template",
+    "enum",   "struct",    "class",     "public",  "private",   "protected",
+    "operator", "virtual", "explicit",  "inline",  "const"};
+
+const std::unordered_set<std::string_view> kControlKeywords = {
+    "if", "for", "while", "switch", "catch", "constexpr"};
+
+const std::unordered_set<std::string_view> kBodyEscapes = {
+    "throw", "abort", "terminate", "_Exit", "exit", "quick_exit", "rethrow_exception"};
+
+class Scanner {
+ public:
+  Scanner(const std::string& path, std::string_view content, const Options& opts)
+      : path_(path), opts_(opts), sup_(parse_suppressions(content)),
+        cleaned_(clean_source(content)) {
+    // Tokens are string_views into cleaned_, which must outlive them.
+    toks_ = tokenize(cleaned_);
+  }
+
+  std::vector<Finding> run() {
+    walk();
+    catch_pass();
+    std::sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
+      return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+    });
+    return std::move(findings_);
+  }
+
+ private:
+  struct Frame {
+    enum class Kind { kNamespace, kClass, kEnum, kFunction, kLambda, kBlock };
+    Kind kind;
+    std::string name;
+    // Function frames only:
+    std::unordered_set<std::string> shared_locals;
+    int commit_line = -1, top_commit_line = -1;
+    bool has_abort = false, has_top_abort = false;
+    // Class frames only: token index where the current member stmt begins.
+    std::size_t stmt_start = 0;
+  };
+
+  void emit(std::string_view rule, int line, std::string msg) {
+    if (!opts_.only_rules.empty() &&
+        std::find(opts_.only_rules.begin(), opts_.only_rules.end(), rule) ==
+            opts_.only_rules.end()) {
+      return;
+    }
+    if (sup_.suppressed(rule, line)) return;
+    findings_.push_back(Finding{path_, line, std::string(rule), std::move(msg)});
+  }
+
+  const Token& tok(std::size_t i) const { return toks_[i]; }
+  bool is(std::size_t i, std::string_view t) const {
+    return i < toks_.size() && toks_[i].text == t;
+  }
+  bool is_ident(std::size_t i) const {
+    return i < toks_.size() && toks_[i].kind == Token::Kind::kIdent;
+  }
+
+  /// Index of the matching closer for the opener at `i` ('(', '{' or '[');
+  /// toks_.size() if unterminated.
+  std::size_t match(std::size_t i) const {
+    const std::string_view open = toks_[i].text;
+    const std::string_view close = open == "(" ? ")" : open == "{" ? "}" : "]";
+    int depth = 0;
+    for (std::size_t j = i; j < toks_.size(); ++j) {
+      if (toks_[j].text == open) ++depth;
+      if (toks_[j].text == close && --depth == 0) return j;
+    }
+    return toks_.size();
+  }
+
+  bool in_namespace(std::string_view name) const {
+    for (const auto& f : stack_) {
+      if (f.kind == Frame::Kind::kNamespace && f.name == name) return true;
+    }
+    return false;
+  }
+
+  Frame* nearest_function() {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Frame::Kind::kFunction) return &*it;
+    }
+    return nullptr;
+  }
+
+  bool shared_local_visible(std::string_view name) const {
+    for (const auto& f : stack_) {
+      if (f.shared_locals.count(std::string(name)) != 0) return true;
+    }
+    return false;
+  }
+
+  // ---- main structural walk ----
+
+  void walk() {
+    std::vector<std::size_t> paren_head;  // token index before each open '('
+    struct Pending {
+      Frame::Kind kind;
+      std::string name;
+    };
+    std::optional<Pending> pending;
+
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+
+      if (t.text == "namespace" && t.kind == Token::Kind::kIdent) {
+        std::string name;
+        std::size_t j = i + 1;
+        while (is_ident(j) || is(j, "::")) {
+          name += toks_[j].text;
+          ++j;
+        }
+        if (is(j, "=")) {  // namespace alias
+          while (j < toks_.size() && !is(j, ";")) ++j;
+          i = j;
+          continue;
+        }
+        if (is(j, "{")) pending = Pending{Frame::Kind::kNamespace, name};
+        i = j - 1;
+        continue;
+      }
+
+      if ((t.text == "class" || t.text == "struct") && t.kind == Token::Kind::kIdent) {
+        std::size_t j = i + 1;
+        std::string name;
+        if (is_ident(j)) {
+          name = toks_[j].text;
+          ++j;
+        }
+        if (is(j, "final")) ++j;
+        if (is(j, ";") || (is_ident(j) && name.empty())) continue;  // fwd decl / elaborated use
+        if (is(j, ":")) {  // base clause: scan to the body brace
+          int angle = 0;
+          while (j < toks_.size() && !(angle == 0 && is(j, "{")) && !is(j, ";")) {
+            if (is(j, "<")) ++angle;
+            if (is(j, ">")) angle = std::max(0, angle - 1);
+            ++j;
+          }
+        }
+        if (is(j, "{")) {
+          pending = Pending{Frame::Kind::kClass, name};
+          i = j - 1;
+        }
+        continue;
+      }
+
+      if (t.text == "enum" && t.kind == Token::Kind::kIdent) {
+        std::size_t j = i + 1;
+        while (j < toks_.size() && !is(j, "{") && !is(j, ";")) ++j;
+        if (is(j, "{")) {
+          pending = Pending{Frame::Kind::kEnum, ""};
+          i = j - 1;
+        }
+        continue;
+      }
+
+      if (t.text == "(") {
+        paren_head.push_back(i == 0 ? toks_.size() : i - 1);
+        continue;
+      }
+      if (t.text == ")") {
+        if (!paren_head.empty()) {
+          last_paren_head_ = paren_head.back();
+          paren_head.pop_back();
+        }
+        continue;
+      }
+
+      if (t.text == "{") {
+        Frame f;
+        if (pending.has_value()) {
+          f.kind = pending->kind;
+          f.name = pending->name;
+          pending.reset();
+        } else {
+          f = classify_brace(i);
+        }
+        f.stmt_start = i + 1;
+        stack_.push_back(std::move(f));
+        continue;
+      }
+      if (t.text == "}") {
+        if (!stack_.empty()) {
+          finish_frame(stack_.back());
+          stack_.pop_back();
+          if (!stack_.empty()) stack_.back().stmt_start = i + 1;
+        }
+        continue;
+      }
+
+      // Statement boundaries at class scope (member declarations).
+      if (!stack_.empty() && stack_.back().kind == Frame::Kind::kClass) {
+        Frame& cls = stack_.back();
+        if (t.text == ";") {
+          check_member_stmt(cls, cls.stmt_start, i);
+          cls.stmt_start = i + 1;
+          continue;
+        }
+        if (t.text == ":" && i > 0 &&
+            (toks_[i - 1].text == "public" || toks_[i - 1].text == "private" ||
+             toks_[i - 1].text == "protected")) {
+          cls.stmt_start = i + 1;
+          continue;
+        }
+      }
+
+      if (t.kind == Token::Kind::kIdent) ident_checks(i);
+      if (t.text == "[") lambda_check(i);
+    }
+
+    while (!stack_.empty()) {
+      finish_frame(stack_.back());
+      stack_.pop_back();
+    }
+  }
+
+  /// Classifies a `{` with no pending namespace/class/enum header.
+  Frame classify_brace(std::size_t i) {
+    Frame f;
+    f.kind = Frame::Kind::kBlock;
+    // Walk back over trailing function modifiers to find what introduced us.
+    std::size_t p = i;
+    while (p > 0) {
+      --p;
+      const std::string_view x = toks_[p].text;
+      if (x == "const" || x == "noexcept" || x == "override" || x == "final" ||
+          x == "mutable") {
+        continue;
+      }
+      // trailing return type: skip back to the `)` heuristically
+      if (toks_[p].kind == Token::Kind::kIdent && p >= 2 && toks_[p - 1].text == "->" ) {
+        p -= 1;
+        continue;
+      }
+      if (x == "->") continue;
+      break;
+    }
+    const Token& prev = toks_[p];
+    if (prev.text == ")") {
+      const std::size_t h = last_paren_head_;
+      if (h < toks_.size()) {
+        const Token& head = toks_[h];
+        if (head.text == "]") {
+          f.kind = Frame::Kind::kLambda;
+        } else if (head.kind == Token::Kind::kIdent &&
+                   kControlKeywords.count(head.text) == 0) {
+          f.kind = Frame::Kind::kFunction;
+          f.name = head.text;
+          if (h > 0 && toks_[h - 1].text == "~") f.name = "~" + f.name;
+        }
+      }
+    } else if (prev.text == "]") {
+      f.kind = Frame::Kind::kLambda;
+    }
+    return f;
+  }
+
+  void finish_frame(const Frame& f) {
+    if (f.kind != Frame::Kind::kFunction) return;
+    if (f.top_commit_line >= 0 && !f.has_top_abort && f.name != "on_top_commit") {
+      emit(kUnpairedHandler, f.top_commit_line,
+           "function '" + f.name +
+               "' registers a top-level commit handler (on_top_commit) without a "
+               "paired on_top_abort — semantic state leaks if the transaction aborts");
+    }
+    if (f.commit_line >= 0 && !f.has_abort && f.name != "on_commit") {
+      emit(kUnpairedHandler, f.commit_line,
+           "function '" + f.name +
+               "' registers a commit handler (on_commit) without a paired on_abort "
+               "— open-nested effects are not compensated on abort");
+    }
+  }
+
+  // ---- per-identifier checks (raw-peek, handler registration, Shared decls) --
+
+  void ident_checks(std::size_t i) {
+    const std::string_view id = toks_[i].text;
+
+    if (id == "unsafe_peek" || id == "unsafe_peek_next") {
+      // Calls only; the declaration `T unsafe_peek() const {` is the oracle
+      // API itself.  Oracle wrappers (functions named unsafe_*) and
+      // destructors (teardown) are exempt.
+      const bool is_call = is(i + 1, "(") &&
+                           !(is(i + 2, ")") && (is(i + 3, "{") || is(i + 3, "const")));
+      if (is_call) {
+        const Frame* fn = nullptr;
+        for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+          if (it->kind == Frame::Kind::kFunction) {
+            fn = &*it;
+            break;
+          }
+        }
+        const bool exempt =
+            fn != nullptr && (fn->name.rfind("unsafe_", 0) == 0 || fn->name.rfind('~', 0) == 0);
+        if (!exempt) {
+          emit(kRawPeek, toks_[i].line,
+               "direct read of a Shared cell's committed value (" + std::string(id) +
+                   ") outside an oracle/teardown context");
+        }
+      }
+    }
+
+    if (id == "v_" && i > 0 && (toks_[i - 1].text == "." || toks_[i - 1].text == "->")) {
+      emit(kRawPeek, toks_[i].line,
+           "reach-through access to a Shared cell's raw storage (v_)");
+    }
+
+    if ((id == "on_commit" || id == "on_abort" || id == "on_top_commit" ||
+         id == "on_top_abort") &&
+        is(i + 1, "(") && !is(i + 2, ")")) {
+      // A call with arguments (registration), not the definition's signature.
+      Frame* fn = nearest_function();
+      if (fn != nullptr) {
+        if (id == "on_commit" && fn->commit_line < 0) fn->commit_line = toks_[i].line;
+        if (id == "on_top_commit" && fn->top_commit_line < 0) {
+          fn->top_commit_line = toks_[i].line;
+        }
+        if (id == "on_abort") fn->has_abort = true;
+        if (id == "on_top_abort") fn->has_top_abort = true;
+      }
+    }
+
+    if (id == "Shared" && is(i + 1, "<") && !stack_.empty() &&
+        stack_.back().kind != Frame::Kind::kClass &&
+        stack_.back().kind != Frame::Kind::kNamespace) {
+      // A local `Shared<T> name` (or `Shared<T>& name`) declaration.
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < toks_.size() && j < i + 64; ++j) {
+        if (toks_[j].text == "<") ++depth;
+        if (toks_[j].text == ">" && --depth == 0) break;
+        if (toks_[j].text == ";") return;
+      }
+      if (depth != 0) return;
+      ++j;
+      if (is(j, "*")) return;  // pointer to Shared: value capture is fine
+      if (is(j, "&")) ++j;
+      if (is_ident(j) && (is(j + 1, ";") || is(j + 1, "=") || is(j + 1, "(") ||
+                          is(j + 1, "{"))) {
+        Frame* fn = nearest_function();
+        if (fn != nullptr) fn->shared_locals.insert(std::string(toks_[j].text));
+      }
+    }
+  }
+
+  // ---- class-member statement analysis (shared-field) ----
+
+  void check_member_stmt(const Frame& cls, std::size_t begin, std::size_t end) {
+    if (begin >= end) return;
+    if (!in_namespace("jstd")) return;
+    // Iterators and RAII guards are transaction-local by design.
+    if (cls.name.find("Iter") != std::string::npos ||
+        cls.name.find("Guard") != std::string::npos) {
+      return;
+    }
+    std::size_t b = begin;
+    if (is(b, "mutable")) ++b;  // mutable members get no exemption
+    if (b >= end) return;
+    if (toks_[b].kind == Token::Kind::kIdent && kMemberSkipLead.count(toks_[b].text) != 0) {
+      return;
+    }
+    bool has_paren = false, has_star = false, has_cell = false, has_prim = false;
+    int first_prim_line = toks_[b].line;
+    for (std::size_t j = b; j < end; ++j) {
+      const Token& t = toks_[j];
+      if (t.text == "(") has_paren = true;
+      if (t.text == "=") break;  // default initializer: type tokens are before it
+      if (t.text == "*") has_star = true;
+      if (t.text == "const") return;  // `T* const x` / east-const: immutable member
+      if (t.kind == Token::Kind::kIdent) {
+        if (t.text == "Shared" || t.text == "Mutex" || t.text == "atomic") has_cell = true;
+        if (kPrimitiveTypes.count(t.text) != 0 && !has_prim) {
+          has_prim = true;
+          first_prim_line = t.line;
+        }
+        if (t.text == "operator") return;
+      }
+    }
+    if (has_paren || has_cell) return;
+    if (has_star) {
+      emit(kSharedField, toks_[b].line,
+           "raw-pointer member of jstd::" + cls.name +
+               " is shared mutable state — wrap it in atomos::Shared<T*> or make it const");
+      return;
+    }
+    if (has_prim) {
+      emit(kSharedField, first_prim_line,
+           "mutable primitive member of jstd::" + cls.name +
+               " is shared mutable state — wrap it in atomos::Shared<T> or make it const");
+    }
+  }
+
+  // ---- lambda capture analysis (shared-value-capture) ----
+
+  void lambda_check(std::size_t i) {
+    if (i > 0) {
+      const Token& p = toks_[i - 1];
+      const bool starts_lambda =
+          p.text == "(" || p.text == "," || p.text == "=" || p.text == "return" ||
+          p.text == "{" || p.text == ";" || p.text == "&&" || p.text == "||" ||
+          p.text == ":" || p.text == "?";
+      if (!starts_lambda) return;
+    }
+    const std::size_t close = match(i);
+    if (close >= toks_.size()) return;
+
+    bool default_copy = false;
+    std::vector<std::pair<std::string_view, int>> value_captures;  // (name, line)
+    std::size_t j = i + 1;
+    while (j < close) {
+      if (is(j, "&")) {  // by-reference (default or named): fine
+        ++j;
+        if (is_ident(j)) ++j;
+      } else if (is(j, "=")) {
+        default_copy = true;
+        ++j;
+      } else if (is(j, "this") || is(j, "*")) {
+        ++j;
+      } else if (is_ident(j)) {
+        const std::string_view name = toks_[j].text;
+        const int line = toks_[j].line;
+        if (is(j + 1, "=")) {
+          // init-capture `x = expr`: flag when expr names a Shared local
+          std::size_t k = j + 2;
+          while (k < close && !is(k, ",")) {
+            if (is_ident(k) && shared_local_visible(toks_[k].text) && !is(k - 1, "&")) {
+              value_captures.emplace_back(toks_[k].text, toks_[k].line);
+            }
+            ++k;
+          }
+          j = k;
+        } else if (shared_local_visible(name)) {
+          value_captures.emplace_back(name, line);
+          ++j;
+        } else {
+          ++j;
+        }
+      } else {
+        ++j;
+      }
+    }
+
+    for (const auto& [name, line] : value_captures) {
+      emit(kSharedCapture, line,
+           "Shared<T> object '" + std::string(name) +
+               "' captured by value in a lambda — capture by reference instead");
+    }
+
+    if (default_copy) {
+      // `[=]`: flag only if the body actually uses a visible Shared local.
+      std::size_t b = close + 1;
+      if (is(b, "(")) b = match(b) + 1;
+      while (b < toks_.size() && !is(b, "{") && !is(b, ";")) ++b;
+      if (!is(b, "{")) return;
+      const std::size_t bend = match(b);
+      for (std::size_t k = b + 1; k < bend && k < toks_.size(); ++k) {
+        if (is_ident(k) && shared_local_visible(toks_[k].text) &&
+            !(k > 0 && (toks_[k - 1].text == "." || toks_[k - 1].text == "->"))) {
+          emit(kSharedCapture, toks_[i].line,
+               "default by-value capture [=] copies Shared<T> object '" +
+                   std::string(toks_[k].text) + "' — capture by reference instead");
+          return;
+        }
+      }
+    }
+  }
+
+  // ---- catch-swallow pass ----
+
+  void catch_pass() {
+    for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+      if (toks_[i].text != "catch" || toks_[i].kind != Token::Kind::kIdent) continue;
+      if (!is(i + 1, "(")) continue;
+      const std::size_t pclose = match(i + 1);
+      if (pclose >= toks_.size()) continue;
+      bool dangerous = false;
+      bool is_violated = false;
+      for (std::size_t j = i + 2; j < pclose; ++j) {
+        if (toks_[j].text == "...") dangerous = true;
+        if (toks_[j].text == "Violated") dangerous = is_violated = true;
+      }
+      if (!dangerous) continue;
+      std::size_t b = pclose + 1;
+      if (!is(b, "{")) continue;
+      const std::size_t bend = match(b);
+      bool escapes = false;
+      for (std::size_t j = b + 1; j < bend && j < toks_.size(); ++j) {
+        if (toks_[j].kind == Token::Kind::kIdent && kBodyEscapes.count(toks_[j].text) != 0) {
+          escapes = true;
+          break;
+        }
+      }
+      if (!escapes) {
+        emit(kCatchSwallow, toks_[i].line,
+             std::string(is_violated ? "catch of atomos::Violated" : "catch (...)") +
+                 " neither rethrows nor aborts — it can swallow the TM violation "
+                 "unwind and corrupt transaction state");
+      }
+    }
+  }
+
+  std::string path_;
+  Options opts_;
+  Suppressions sup_;
+  std::string cleaned_;  // backing storage for every token's string_view
+  std::vector<Token> toks_;
+  std::vector<Frame> stack_;
+  std::size_t last_paren_head_ = static_cast<std::size_t>(-1);
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+std::vector<Finding> scan_source(const std::string& path, std::string_view content,
+                                 const Options& opts) {
+  Scanner s(path, content, opts);
+  return s.run();
+}
+
+}  // namespace txlint

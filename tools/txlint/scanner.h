@@ -1,0 +1,56 @@
+// txlint — static lint for the repo's transactional-memory discipline.
+//
+// The TM library rests on invariants the C++ compiler cannot check (they are
+// stated as prose in src/tm/runtime.h and src/tm/shared.h):
+//
+//   * every mutable field shared between virtual CPUs lives in a Shared<T>;
+//   * the committed value behind a Shared (v_ / unsafe_peek) is only read by
+//     test oracles and teardown code, never by workload code;
+//   * the internal `Violated` unwind is never swallowed by a catch block;
+//   * an open-nested body that registers a commit handler registers the
+//     paired abort handler too (otherwise semantic locks leak on abort);
+//   * Shared<T> objects are never captured by value in lambdas (the capture
+//     would snapshot the cell instead of aliasing it).
+//
+// txlint is a heuristic, token-level scanner: it strips comments/strings,
+// tracks namespace/class/function structure, and flags violations of each
+// rule.  False positives are silenced in place with suppression comments:
+//
+//   // txlint: allow(rule-a, rule-b)      this line and the next
+//   // txlint: begin-allow(rule)          ... region ...
+//   // txlint: end-allow(rule)
+//   // txlint: allow-file(rule)           whole file; `*` matches all rules
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace txlint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+/// The rules this build of txlint knows, in reporting order.
+const std::vector<RuleInfo>& rules();
+
+struct Options {
+  /// When non-empty, only these rule names run.
+  std::vector<std::string> only_rules;
+};
+
+/// Scans one translation unit held in memory.  `path` is used only for
+/// labeling findings.
+std::vector<Finding> scan_source(const std::string& path, std::string_view content,
+                                 const Options& opts = {});
+
+}  // namespace txlint
