@@ -1,0 +1,237 @@
+// Hot-path microbenchmark: HOST wall-clock throughput of the TM runtime.
+//
+// The fig* benchmarks measure SIMULATED cycles; this one measures how fast
+// the host executes the runtime machinery itself — Shared<T> read/write
+// tracking, read-own-writes lookups, commit broadcast, abort/retry — which
+// is exactly the constant factor the ROADMAP's "as fast as the hardware
+// allows" goal is gated on.  Each scenario also records its simulated cycle
+// total as a timing-invariance witness: a host-side optimisation must never
+// change it (compare sim_cycles across runs of different builds).
+//
+// Results are written as JSON (BENCH_hotpath.json) via the harness, with a
+// pure-host calibration loop so throughput can be normalized across
+// machines (see bench/run_bench.sh and tools/check_hotpath.py).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/speedup.h"
+#include "tm/runtime.h"
+#include "tm/shared.h"
+
+namespace {
+
+constexpr int kCpus = 8;
+constexpr int kCellsPerCpu = 64;
+
+// Conflict identity comes from the cells' deterministic *virtual* addresses
+// (8 bytes each, assigned in construction order — eight cells per 64-byte
+// virtual line), not from host layout, so no host-side padding is needed:
+// each CPU's block of kCellsPerCpu consecutively constructed cells spans
+// exactly kCellsPerCpu/8 whole virtual lines and never shares a line with
+// another CPU's block.  The uncontended scenarios therefore measure pure
+// hot-path cost, not violation handling.
+struct PaddedCell {
+  atomos::Shared<long> v;
+};
+
+sim::Config tcc_cfg() {
+  sim::Config c;
+  c.num_cpus = kCpus;
+  c.mode = sim::Mode::kTcc;
+  return c;
+}
+
+double wall_run(sim::Engine& eng) {
+  const auto t0 = std::chrono::steady_clock::now();
+  eng.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Pure-host calibration: a dependent LCG chain that never touches the
+/// simulator or the TM runtime.  Normalizing by this factors out raw CPU
+/// speed when comparing JSON outputs across machines.
+double calibrate() {
+  constexpr std::uint64_t kIters = 100'000'000;
+  std::uint64_t s = 0x9e3779b97f4a7c15ULL;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  volatile std::uint64_t sink = s;
+  (void)sink;
+  return static_cast<double>(kIters) / std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Tight read/write + commit loop, disjoint per-CPU cell blocks.
+harness::BenchResult bench_rw_commit(int txns_per_cpu) {
+  sim::Engine eng(tcc_cfg());
+  atomos::Runtime rt(eng);
+  std::vector<PaddedCell> cells(kCpus * kCellsPerCpu);
+  for (int c = 0; c < kCpus; ++c) {
+    eng.spawn([&cells, c, txns_per_cpu] {
+      const int base = c * kCellsPerCpu;
+      for (int i = 0; i < txns_per_cpu; ++i) {
+        atomos::atomically([&cells, base, i] {
+          long acc = 0;
+          for (int r = 0; r < 8; ++r) acc += cells[base + (i * 3 + r * 5) % kCellsPerCpu].v.get();
+          for (int w = 0; w < 4; ++w) {
+            cells[base + (i * 7 + w * 11) % kCellsPerCpu].v.set(acc + w);
+          }
+        });
+      }
+    });
+  }
+  harness::BenchResult r;
+  r.name = "rw_commit";
+  r.ops = static_cast<std::uint64_t>(kCpus) * txns_per_cpu;
+  r.wall_seconds = wall_run(eng);
+  r.sim_cycles = eng.elapsed_cycles();
+  return r;
+}
+
+/// Read-only transactions (trivial commits, no broadcast).
+harness::BenchResult bench_read_dominated(int txns_per_cpu) {
+  sim::Engine eng(tcc_cfg());
+  atomos::Runtime rt(eng);
+  std::vector<PaddedCell> cells(kCpus * kCellsPerCpu);
+  for (int c = 0; c < kCpus; ++c) {
+    eng.spawn([&cells, c, txns_per_cpu] {
+      const int base = c * kCellsPerCpu;
+      for (int i = 0; i < txns_per_cpu; ++i) {
+        atomos::atomically([&cells, base, i] {
+          long acc = 0;
+          for (int r = 0; r < 16; ++r) acc += cells[base + (i + r * 5) % kCellsPerCpu].v.get();
+          volatile long sink = acc;
+          (void)sink;
+        });
+      }
+    });
+  }
+  harness::BenchResult r;
+  r.name = "read_dominated";
+  r.ops = static_cast<std::uint64_t>(kCpus) * txns_per_cpu;
+  r.wall_seconds = wall_run(eng);
+  r.sim_cycles = eng.elapsed_cycles();
+  return r;
+}
+
+/// Closed-nested frames inside each transaction (frame push/pop, read-set
+/// ownership transfer on frame commit).
+harness::BenchResult bench_nested_frames(int txns_per_cpu) {
+  sim::Engine eng(tcc_cfg());
+  atomos::Runtime rt(eng);
+  std::vector<PaddedCell> cells(kCpus * kCellsPerCpu);
+  for (int c = 0; c < kCpus; ++c) {
+    eng.spawn([&cells, c, txns_per_cpu] {
+      const int base = c * kCellsPerCpu;
+      for (int i = 0; i < txns_per_cpu; ++i) {
+        atomos::atomically([&cells, base, i] {
+          for (int f = 0; f < 2; ++f) {
+            atomos::atomically([&cells, base, i, f] {
+              long acc = 0;
+              for (int r = 0; r < 4; ++r) {
+                acc += cells[base + (i + f * 13 + r * 5) % kCellsPerCpu].v.get();
+              }
+              for (int w = 0; w < 2; ++w) {
+                cells[base + (i + f * 17 + w * 11) % kCellsPerCpu].v.set(acc);
+              }
+            });
+          }
+        });
+      }
+    });
+  }
+  harness::BenchResult r;
+  r.name = "nested_frames";
+  r.ops = static_cast<std::uint64_t>(kCpus) * txns_per_cpu;
+  r.wall_seconds = wall_run(eng);
+  r.sim_cycles = eng.elapsed_cycles();
+  return r;
+}
+
+/// Open-nested children (a second Txn begin/commit per parent transaction).
+harness::BenchResult bench_open_nested(int txns_per_cpu) {
+  sim::Engine eng(tcc_cfg());
+  atomos::Runtime rt(eng);
+  std::vector<PaddedCell> cells(kCpus * kCellsPerCpu);
+  for (int c = 0; c < kCpus; ++c) {
+    eng.spawn([&cells, c, txns_per_cpu] {
+      const int base = c * kCellsPerCpu;
+      for (int i = 0; i < txns_per_cpu; ++i) {
+        atomos::atomically([&cells, base, i] {
+          long acc = 0;
+          for (int r = 0; r < 4; ++r) acc += cells[base + (i + r * 5) % kCellsPerCpu].v.get();
+          atomos::open_atomically([&cells, base, i, acc] {
+            for (int w = 0; w < 2; ++w) {
+              cells[base + 32 + (i + w * 11) % 32].v.set(acc);
+            }
+          });
+          cells[base + (i * 7) % 32].v.set(acc);
+        });
+      }
+    });
+  }
+  harness::BenchResult r;
+  r.name = "open_nested";
+  r.ops = static_cast<std::uint64_t>(kCpus) * txns_per_cpu;
+  r.wall_seconds = wall_run(eng);
+  r.sim_cycles = eng.elapsed_cycles();
+  return r;
+}
+
+/// All CPUs hammer the same 16 cells: violations, aborts and retries
+/// (exercises rollback and transaction-object reuse).
+harness::BenchResult bench_contended(int txns_per_cpu) {
+  sim::Engine eng(tcc_cfg());
+  atomos::Runtime rt(eng);
+  std::vector<PaddedCell> cells(16);
+  for (int c = 0; c < kCpus; ++c) {
+    eng.spawn([&cells, c, txns_per_cpu] {
+      for (int i = 0; i < txns_per_cpu; ++i) {
+        atomos::atomically([&cells, c, i] {
+          long acc = 0;
+          for (int r = 0; r < 4; ++r) acc += cells[(c + i + r * 3) % 16].v.get();
+          for (int w = 0; w < 2; ++w) cells[(c * 5 + i + w * 7) % 16].v.set(acc);
+        });
+      }
+    });
+  }
+  harness::BenchResult r;
+  r.name = "contended";
+  r.ops = static_cast<std::uint64_t>(kCpus) * txns_per_cpu;  // committed txns
+  r.wall_seconds = wall_run(eng);
+  r.sim_cycles = eng.elapsed_cycles();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+
+  const double calib = calibrate();
+  std::vector<harness::BenchResult> results;
+  results.push_back(bench_rw_commit(20000));
+  results.push_back(bench_read_dominated(20000));
+  results.push_back(bench_nested_frames(10000));
+  results.push_back(bench_open_nested(10000));
+  results.push_back(bench_contended(4000));
+
+  std::printf("%-16s %12s %10s %14s %14s\n", "scenario", "txns", "wall(s)", "txns/sec",
+              "sim_cycles");
+  for (const auto& r : results) {
+    std::printf("%-16s %12llu %10.3f %14.0f %14llu\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.ops), r.wall_seconds,
+                static_cast<double>(r.ops) / r.wall_seconds,
+                static_cast<unsigned long long>(r.sim_cycles));
+  }
+  std::printf("calibration: %.0f ops/sec\n", calib);
+
+  harness::write_bench_json(out_path, "hotpath", results, calib);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

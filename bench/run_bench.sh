@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the perf benches and writes machine-readable results at the repo
+# root, so the perf trajectory (BENCH_*.json) is tracked over time:
+#
+#   BENCH_op_overhead.json  - google-benchmark JSON for tbl_op_overhead
+#   BENCH_hotpath.json      - wall-clock TM hot-path throughput (normalized
+#                             by a host calibration loop; see hotpath.cpp)
+#
+# Usage: bench/run_bench.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -x "$BUILD_DIR/bench/hotpath" ]]; then
+  echo "run_bench.sh: $BUILD_DIR/bench/hotpath not built" >&2
+  exit 1
+fi
+
+"$BUILD_DIR/bench/tbl_op_overhead" \
+  --benchmark_out=BENCH_op_overhead.json --benchmark_out_format=json
+
+"$BUILD_DIR/bench/hotpath" BENCH_hotpath.json
+
+echo "run_bench.sh: wrote BENCH_op_overhead.json BENCH_hotpath.json"

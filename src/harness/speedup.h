@@ -46,4 +46,29 @@ std::vector<RunResult> run_figure(const std::string& figure_title,
                                   const std::vector<int>& cpu_counts,
                                   const std::string& csv_path = "");
 
+// ---- machine-readable (JSON) benchmark output ----
+
+/// One wall-clock microbenchmark measurement (see bench/hotpath.cpp).
+struct BenchResult {
+  std::string name;
+  std::uint64_t ops = 0;         ///< operations (e.g. committed transactions)
+  double wall_seconds = 0.0;     ///< host wall-clock time for those ops
+  std::uint64_t sim_cycles = 0;  ///< simulated cycles — MUST be invariant
+                                 ///< across host-side optimisations
+};
+
+/// Writes benchmark results as JSON so the perf trajectory can be recorded
+/// and CI-guarded (BENCH_*.json at the repo root).  Each result gains a
+/// derived `ops_per_sec`, and — when `calibration_ops_per_sec` > 0 — a
+/// `normalized` throughput (ops_per_sec / calibration) that factors out the
+/// host machine's raw speed, making runs comparable across machines.
+void write_bench_json(const std::string& path, const std::string& bench,
+                      const std::vector<BenchResult>& results,
+                      double calibration_ops_per_sec = 0.0);
+
+/// Emits `run_figure` results as JSON (same schema idea as the CSV, for
+/// tooling that prefers structured output).
+void write_figure_json(const std::string& path, const std::string& figure_title,
+                       const std::vector<RunResult>& results);
+
 }  // namespace harness

@@ -4,12 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/vaddr.h"
+
 namespace sim {
-namespace {
-
-thread_local Engine* g_engine = nullptr;
-
-}  // namespace
 
 Engine::Engine(const Config& cfg)
     : cfg_(cfg),
@@ -20,6 +17,9 @@ Engine::Engine(const Config& cfg)
   if (cfg.num_cpus < 1 || cfg.num_cpus > 32)
     throw std::invalid_argument("Engine: num_cpus must be in [1,32]");
   for (int i = 0; i < cfg.num_cpus; ++i) cpus_[static_cast<std::size_t>(i)].id_ = i;
+  // Each simulation lays out its Shared cells / lock words from the same
+  // virtual base, making cycle totals independent of host memory layout.
+  va_reset();
 }
 
 Engine::~Engine() {
@@ -33,7 +33,7 @@ void Engine::kill_all_suspended() {
   for (Cpu& c : cpus_) {
     if (c.fiber_ != nullptr && !c.fiber_->finished()) {
       current_cpu_ = c.id_;
-      c.fiber_->resume();  // wakes in block()/maybe_yield(), throws FiberKilled
+      c.fiber_->resume();  // wakes in block()/yield_now(), throws FiberKilled
       current_cpu_ = -1;
       c.state_ = Cpu::State::kDone;
     }
@@ -48,24 +48,12 @@ void Engine::spawn(std::function<void()> work) {
   work_.push_back(std::move(work));
 }
 
-int Engine::pick_next() const {
-  int best = -1;
-  std::uint64_t best_clock = std::numeric_limits<std::uint64_t>::max();
-  for (const Cpu& c : cpus_) {
-    if (c.state_ == Cpu::State::kRunnable && c.clock_ < best_clock) {
-      best = c.id_;
-      best_clock = c.clock_;
-    }
-  }
-  return best;
-}
-
 void Engine::run() {
   if (running_) throw std::logic_error("Engine::run re-entered");
   if (work_.empty()) return;
   running_ = true;
-  Engine* prev = g_engine;
-  g_engine = this;
+  Engine* prev = tls_engine_;
+  tls_engine_ = this;
 
   for (std::size_t i = 0; i < work_.size(); ++i) {
     Cpu& c = cpus_[i];
@@ -74,8 +62,26 @@ void Engine::run() {
     c.fiber_ = std::make_unique<Fiber>([this, id] { worker_main(id); });
   }
 
+  constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
   for (;;) {
-    const int next = pick_next();
+    // One pass finds both the min-clock runnable CPU (runs next) and the
+    // second-smallest runnable clock (its run limit): the fiber may run
+    // until it passes that snapshot + slack.  Other clocks are frozen while
+    // it runs, so the snapshot stays exact unless it unblocks someone
+    // (which tightens the limit via unblock()).
+    int next = -1;
+    std::uint64_t best = kNever;
+    std::uint64_t second = kNever;
+    for (const Cpu& c : cpus_) {
+      if (c.state_ != Cpu::State::kRunnable) continue;
+      if (c.clock_ < best) {
+        second = best;
+        best = c.clock_;
+        next = c.id_;
+      } else if (c.clock_ < second) {
+        second = c.clock_;
+      }
+    }
     if (next < 0) {
       bool any_blocked = false;
       bool all_done = true;
@@ -86,32 +92,21 @@ void Engine::run() {
       if (all_done) break;
       if (any_blocked) {
         kill_all_suspended();
-        g_engine = prev;
+        tls_engine_ = prev;
         running_ = false;
         throw std::runtime_error("Engine: virtual deadlock (all CPUs blocked)");
       }
       break;
     }
     Cpu& c = cpus_[static_cast<std::size_t>(next)];
-    // Snapshot of the minimum *other* runnable clock; the fiber may run
-    // until it passes this value + slack.  Other clocks are frozen while it
-    // runs, so the snapshot stays exact unless it unblocks someone (which
-    // tightens the limit via unblock()).
-    std::uint64_t limit = std::numeric_limits<std::uint64_t>::max();
-    for (const Cpu& o : cpus_) {
-      if (o.id_ != next && o.state_ == Cpu::State::kRunnable && o.clock_ < limit)
-        limit = o.clock_;
-    }
-    run_limit_ = (limit == std::numeric_limits<std::uint64_t>::max())
-                     ? limit
-                     : limit + cfg_.slack;
+    run_limit_ = (second == kNever) ? second : second + cfg_.slack;
     current_cpu_ = next;
     c.fiber_->resume();
     current_cpu_ = -1;
     if (c.fiber_->finished()) c.state_ = Cpu::State::kDone;
   }
 
-  g_engine = prev;
+  tls_engine_ = prev;
   running_ = false;
 }
 
@@ -124,31 +119,13 @@ std::uint64_t Engine::elapsed_cycles() const {
   return m;
 }
 
-Engine& Engine::get() {
-  if (g_engine == nullptr) throw std::logic_error("Engine::get: no active simulation");
-  return *g_engine;
+void Engine::yield_now() {
+  Fiber::yield();
+  if (poisoned_) throw FiberKilled{};
 }
 
-bool Engine::in_worker() { return g_engine != nullptr && g_engine->current_cpu_ >= 0; }
-
-void Engine::maybe_yield() {
-  Cpu& c = cpus_[static_cast<std::size_t>(current_cpu_)];
-  if (c.clock_ > run_limit_) {
-    Fiber::yield();
-    if (poisoned_) throw FiberKilled{};
-  }
-}
-
-void Engine::tick(std::uint64_t cycles) {
-  Cpu& c = cpus_[static_cast<std::size_t>(current_cpu_)];
-  c.clock_ += cycles;
-  maybe_yield();
-}
-
-void Engine::advance_to(std::uint64_t t) {
-  Cpu& c = cpus_[static_cast<std::size_t>(current_cpu_)];
-  if (t > c.clock_) c.clock_ = t;
-  maybe_yield();
+void Engine::throw_no_engine() {
+  throw std::logic_error("Engine::get: no active simulation");
 }
 
 void Engine::block() {

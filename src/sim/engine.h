@@ -71,10 +71,20 @@ class Engine {
 
   /// The engine whose run() is active on this thread (never null inside a
   /// worker; throws otherwise).
-  static Engine& get();
+  static Engine& get() {
+    if (tls_engine_ == nullptr) throw_no_engine();
+    return *tls_engine_;
+  }
   /// True if a simulation is running on this thread *and* we are inside a
   /// worker fiber (as opposed to e.g. benchmark setup code).
-  static bool in_worker();
+  static bool in_worker() {
+    return tls_engine_ != nullptr && tls_engine_->current_cpu_ >= 0;
+  }
+  /// The active engine, or nullptr outside run().  Lets hot callers (e.g.
+  /// Shared<T>) pay one thread-local load instead of three.
+  static Engine* current_or_null() { return tls_engine_; }
+  /// True if the calling code is on a worker fiber of *this* engine.
+  bool on_worker_fiber() const { return current_cpu_ >= 0; }
 
   /// The virtual CPU executing the calling fiber.
   int cpu_id() const { return current_cpu_; }
@@ -82,11 +92,19 @@ class Engine {
 
   /// Advances the current CPU by `cycles` of CPI-1.0 work, yielding to the
   /// scheduler if it runs past the other CPUs' progress.
-  void tick(std::uint64_t cycles);
+  void tick(std::uint64_t cycles) {
+    Cpu& c = cpus_[static_cast<std::size_t>(current_cpu_)];
+    c.clock_ += cycles;
+    if (c.clock_ > run_limit_) yield_now();
+  }
 
   /// Sets the current CPU's clock to `t` (used by the TM/memory layers after
   /// a timed memory operation) and yields if ordering requires.
-  void advance_to(std::uint64_t t);
+  void advance_to(std::uint64_t t) {
+    Cpu& c = cpus_[static_cast<std::size_t>(current_cpu_)];
+    if (t > c.clock_) c.clock_ = t;
+    if (c.clock_ > run_limit_) yield_now();
+  }
 
   /// Blocks the current CPU until some other CPU calls unblock() on it.
   void block();
@@ -100,9 +118,11 @@ class Engine {
 
  private:
   void worker_main(int cpu);
-  void maybe_yield();
+  void yield_now();  // out-of-line: fiber switch + poison check
   void kill_all_suspended();
-  [[nodiscard]] int pick_next() const;  // min-clock runnable CPU, -1 if none
+  [[noreturn]] static void throw_no_engine();
+
+  inline static thread_local Engine* tls_engine_ = nullptr;
 
   Config cfg_;
   Stats stats_;

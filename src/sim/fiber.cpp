@@ -136,6 +136,13 @@ namespace {
 
 thread_local Fiber* g_current_fiber = nullptr;
 
+// __cxa_get_globals returns a fixed per-thread address; cache it so the two
+// EH-globals swaps per resume don't each pay an external libsupc++ call.
+inline void* eh_globals_addr() {
+  thread_local void* p = __cxxabiv1::__cxa_get_globals();
+  return p;
+}
+
 std::size_t page_size() {
   static const std::size_t ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
   return ps;
@@ -203,7 +210,7 @@ void Fiber::resume() {
   running_ = true;
   g_current_fiber = this;
   // Install the fiber's exception-handling globals, parking the resumer's.
-  auto* eh = reinterpret_cast<EhGlobals*>(__cxxabiv1::__cxa_get_globals());
+  auto* eh = reinterpret_cast<EhGlobals*>(eh_globals_addr());
   eh_return_state_ = *eh;
   *eh = eh_state_;
   tsan_return_fiber_ = tsan_this_fiber();

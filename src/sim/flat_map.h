@@ -1,0 +1,162 @@
+// sim::FlatMap — the open-addressing hash table behind every TM hot path.
+//
+// Replaces std::unordered_map in the per-access structures (transaction
+// read/write sets, the memory-system line directory): one flat slot array,
+// power-of-two capacity, linear probing, so a lookup is one multiply plus a
+// short scan of contiguous memory instead of a pointer chase through
+// heap-allocated nodes.
+//
+// Two properties are load-bearing for the TM runtime:
+//
+//  * O(1) generation-stamped clear() — pooled transactions reset their logs
+//    between attempts by bumping a generation counter, never by touching
+//    the (possibly large) slot array;
+//  * tombstone-free erase() (backward-shift deletion) — closed-nested frame
+//    rollback erases exactly the keys its positional logs name, and probe
+//    sequences stay dense afterwards, so a table that aborts frames all day
+//    never degrades.
+//
+// K and V must be trivially copyable; K is compared with ==.  Iteration
+// (for_each) visits live slots in unspecified order — callers must not let
+// that order affect simulated timing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace sim {
+
+/// 64-bit finalizer-style mixer (splitmix64 tail): the hash behind FlatMap
+/// probing and the TM write-set Bloom summary.
+inline std::uint64_t hash_u64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+template <class K, class V>
+class FlatMap {
+  static_assert(std::is_trivially_copyable_v<K>, "FlatMap requires trivially copyable keys");
+  static_assert(std::is_trivially_copyable_v<V>, "FlatMap requires trivially copyable values");
+
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Forgets every entry in O(1) by bumping the generation stamp.
+  void clear() {
+    size_ = 0;
+    if (++gen_ == 0) {  // wraparound: lazily-stale slots would look live
+      for (Slot& s : slots_) s.gen = 0;
+      gen_ = 1;
+    }
+  }
+
+  /// Pointer to the value for `key`, or nullptr.
+  V* find(K key) {
+    if (size_ == 0) return nullptr;
+    std::size_t i = home(key);
+    while (occupied(i)) {
+      if (slots_[i].key == key) return &slots_[i].val;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const V* find(K key) const { return const_cast<FlatMap*>(this)->find(key); }
+
+  /// Inserts (key, init) if absent.  Returns (value slot, inserted?).
+  /// The returned pointer is valid until the next insert/erase/clear.
+  std::pair<V*, bool> try_emplace(K key, V init) {
+    if (size_ + 1 > cap_threshold()) grow();
+    std::size_t i = home(key);
+    while (occupied(i)) {
+      if (slots_[i].key == key) return {&slots_[i].val, false};
+      i = (i + 1) & mask_;
+    }
+    slots_[i].key = key;
+    slots_[i].val = init;
+    slots_[i].gen = gen_;
+    ++size_;
+    return {&slots_[i].val, true};
+  }
+
+  /// Removes `key` with backward-shift deletion (no tombstones).
+  bool erase(K key) {
+    if (size_ == 0) return false;
+    std::size_t i = home(key);
+    for (;;) {
+      if (!occupied(i)) return false;
+      if (slots_[i].key == key) break;
+      i = (i + 1) & mask_;
+    }
+    // Shift later probe-chain members back over the gap.
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (!occupied(j)) break;
+      const std::size_t h = home(slots_[j].key);
+      const std::size_t dist = (j - h) & mask_;  // occupant's probe distance
+      const std::size_t gap = (j - i) & mask_;   // distance back to the gap
+      if (dist >= gap) {
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+    slots_[i].gen = 0;  // gen_ is always >= 1, so 0 means empty
+    --size_;
+    return true;
+  }
+
+  /// Visits every live (key, value) pair; `fn(K, const V&)`.
+  template <class F>
+  void for_each(F&& fn) const {
+    if (size_ == 0) return;
+    for (const Slot& s : slots_) {
+      if (s.gen == gen_) fn(s.key, s.val);
+    }
+  }
+
+ private:
+  struct Slot {
+    K key;
+    V val;
+    std::uint32_t gen = 0;  // live iff == table generation
+  };
+
+  static constexpr std::size_t kMinCap = 16;
+
+  std::size_t home(K key) const {
+    return static_cast<std::size_t>(hash_u64(static_cast<std::uint64_t>(key))) & mask_;
+  }
+  bool occupied(std::size_t i) const { return slots_[i].gen == gen_; }
+  std::size_t cap_threshold() const { return slots_.size() - slots_.size() / 4; }  // 75%
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    const std::uint32_t old_gen = gen_;
+    const std::size_t new_cap = old.empty() ? kMinCap : old.size() * 2;
+    slots_.assign(new_cap, Slot{});
+    mask_ = new_cap - 1;
+    gen_ = 1;
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.gen != old_gen) continue;
+      std::size_t i = home(s.key);
+      while (occupied(i)) i = (i + 1) & mask_;
+      slots_[i].key = s.key;
+      slots_[i].val = s.val;
+      slots_[i].gen = gen_;
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::uint32_t gen_ = 1;
+};
+
+}  // namespace sim

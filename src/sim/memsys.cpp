@@ -7,6 +7,7 @@ namespace sim {
 MemSys::MemSys(const Config& cfg, Stats& stats) : cfg_(cfg), stats_(stats) {
   l1_.resize(static_cast<std::size_t>(cfg.num_cpus));
   for (auto& c : l1_) c.resize(static_cast<std::size_t>(cfg.l1_sets) * cfg.l1_assoc);
+  spec_ways_.resize(static_cast<std::size_t>(cfg.num_cpus));
 }
 
 MemSys::Way* MemSys::find(int cpu, LineAddr line) {
@@ -32,18 +33,21 @@ MemSys::Way& MemSys::victim(int cpu, LineAddr line) {
   return *best;
 }
 
+void MemSys::dir_remove_cpu(LineAddr line, int cpu) {
+  Dir* d = dir_.find(line);
+  if (d == nullptr) return;
+  d->sharers &= ~(1u << cpu);
+  if (d->owner == cpu) d->owner = -1;
+  if (d->sharers == 0 && d->owner < 0) dir_.erase(line);
+}
+
 void MemSys::evict(int cpu, Way& w) {
   if (w.state == St::I) return;
   // Note: a TCC L1 must not evict speculatively written lines; real hardware
   // would stall or overflow-serialize.  We evict silently and rely on the TM
   // layer's write buffer for values; only timing fidelity is lost, and the
   // benchmarks' write sets fit in L1 anyway.
-  auto it = dir_.find(w.line);
-  if (it != dir_.end()) {
-    it->second.sharers &= ~(1u << cpu);
-    if (it->second.owner == cpu) it->second.owner = -1;
-    if (it->second.sharers == 0 && it->second.owner < 0) dir_.erase(it);
-  }
+  dir_remove_cpu(w.line, cpu);
   w.state = St::I;
   w.spec_dirty = false;
 }
@@ -53,12 +57,7 @@ void MemSys::drop_from(int cpu, LineAddr line) {
     w->state = St::I;
     w->spec_dirty = false;
   }
-  auto it = dir_.find(line);
-  if (it != dir_.end()) {
-    it->second.sharers &= ~(1u << cpu);
-    if (it->second.owner == cpu) it->second.owner = -1;
-    if (it->second.sharers == 0 && it->second.owner < 0) dir_.erase(it);
-  }
+  dir_remove_cpu(line, cpu);
 }
 
 std::uint64_t MemSys::plain_load(int cpu, std::uintptr_t addr, std::uint64_t t) {
@@ -69,7 +68,9 @@ std::uint64_t MemSys::plain_load(int cpu, std::uintptr_t addr, std::uint64_t t) 
     return t + cfg_.l1_hit_cycles;
   }
   stats_.cpu(cpu).l1_misses++;
-  Dir& d = dir_[line];
+  // Work on a copy: victim() below may evict other lines, which mutates the
+  // directory table and would invalidate a live Dir pointer.
+  Dir d = *dir_.try_emplace(line, Dir{}).first;
   std::uint32_t occ = cfg_.bus_xfer_cycles;
   if (d.owner >= 0 && d.owner != cpu) {
     // Another CPU holds the line exclusively (E or M): downgrade it to S,
@@ -89,6 +90,7 @@ std::uint64_t MemSys::plain_load(int cpu, std::uintptr_t addr, std::uint64_t t) 
   w.state = (d.sharers == 0) ? St::E : St::S;
   if (w.state == St::E) d.owner = cpu;
   d.sharers |= (1u << cpu);
+  *dir_.try_emplace(line, Dir{}).first = d;
   return done;
 }
 
@@ -103,12 +105,13 @@ std::uint64_t MemSys::plain_store(int cpu, std::uintptr_t addr, std::uint64_t t)
   if (w != nullptr && w->state == St::E) {
     w->state = St::M;
     w->lru = ++lru_tick_;
-    dir_[line].owner = cpu;
+    dir_.try_emplace(line, Dir{}).first->owner = cpu;
     return t + cfg_.l1_hit_cycles;
   }
   // Upgrade (S) or read-for-ownership (miss): invalidate all other copies.
-  // Copy the directory fields first: drop_from may erase the entry.
-  const Dir d = dir_[line];
+  // Copy the directory fields first: drop_from may erase (and move) entries.
+  Dir d{};
+  if (const Dir* p = dir_.find(line)) d = *p;
   std::uint32_t occ = (w != nullptr) ? 0 : cfg_.bus_xfer_cycles;
   if (d.owner >= 0 && d.owner != cpu) {
     if (Way* ow = find(d.owner, line); ow != nullptr && ow->state == St::M)
@@ -123,7 +126,6 @@ std::uint64_t MemSys::plain_store(int cpu, std::uintptr_t addr, std::uint64_t t)
   if (was_miss) stats_.cpu(cpu).l1_misses++;
   const std::uint64_t done =
       bus_.transact(t, cfg_.bus_arb_cycles, occ) + (was_miss ? cfg_.l2_hit_cycles : 0);
-  Dir& d2 = dir_[line];  // drop_from may have erased the entry
   if (w == nullptr) {
     w = &victim(cpu, line);
     w->line = line;
@@ -131,8 +133,7 @@ std::uint64_t MemSys::plain_store(int cpu, std::uintptr_t addr, std::uint64_t t)
   w->state = St::M;
   w->spec_dirty = false;
   w->lru = ++lru_tick_;
-  d2.sharers = (1u << cpu);
-  d2.owner = cpu;
+  *dir_.try_emplace(line, Dir{}).first = Dir{1u << cpu, cpu};
   return done;
 }
 
@@ -151,7 +152,7 @@ std::uint64_t MemSys::tx_load(int cpu, std::uintptr_t addr, std::uint64_t t) {
   w.state = St::S;  // "valid" in TCC mode
   w.spec_dirty = false;
   w.lru = ++lru_tick_;
-  dir_[line].sharers |= (1u << cpu);
+  dir_.try_emplace(line, Dir{}).first->sharers |= (1u << cpu);
   return done;
 }
 
@@ -167,9 +168,13 @@ std::uint64_t MemSys::tx_store(int cpu, std::uintptr_t addr, std::uint64_t t) {
     w = &victim(cpu, line);
     w->line = line;
     w->state = St::S;
-    dir_[line].sharers |= (1u << cpu);
+    dir_.try_emplace(line, Dir{}).first->sharers |= (1u << cpu);
   }
-  w->spec_dirty = true;  // buffered in cache, no bus traffic until commit
+  if (!w->spec_dirty) {
+    w->spec_dirty = true;  // buffered in cache, no bus traffic until commit
+    spec_ways_[static_cast<std::size_t>(cpu)].push_back(
+        static_cast<std::uint32_t>(w - l1_[static_cast<std::size_t>(cpu)].data()));
+  }
   w->lru = ++lru_tick_;
   return done;
 }
@@ -180,16 +185,16 @@ std::uint64_t MemSys::tcc_commit(int cpu, std::size_t write_lines, std::uint64_t
   std::uint64_t done = bus_.transact(t, cfg_.commit_arb_cycles, occ);
   // Mark own written lines as committed (no longer speculative).
   auto& c = l1_[static_cast<std::size_t>(cpu)];
-  for (auto& w : c) {
-    if (w.state != St::I && w.spec_dirty) w.spec_dirty = false;
-  }
+  auto& sw = spec_ways_[static_cast<std::size_t>(cpu)];
+  for (const std::uint32_t i : sw) c[i].spec_dirty = false;
+  sw.clear();
   return done;
 }
 
 void MemSys::invalidate_copies(int committer, LineAddr line) {
-  auto it = dir_.find(line);
-  if (it == dir_.end()) return;
-  std::uint32_t sharers = it->second.sharers;
+  const Dir* d = dir_.find(line);
+  if (d == nullptr) return;
+  std::uint32_t sharers = d->sharers;  // copy: drop_from mutates the table
   for (int c = 0; sharers != 0; ++c, sharers >>= 1) {
     if ((sharers & 1u) != 0 && c != committer) drop_from(c, line);
   }
@@ -197,18 +202,16 @@ void MemSys::invalidate_copies(int committer, LineAddr line) {
 
 void MemSys::abort_clear_speculative(int cpu) {
   auto& c = l1_[static_cast<std::size_t>(cpu)];
-  for (auto& w : c) {
+  auto& sw = spec_ways_[static_cast<std::size_t>(cpu)];
+  for (const std::uint32_t i : sw) {
+    Way& w = c[i];
     if (w.state != St::I && w.spec_dirty) {
-      auto it = dir_.find(w.line);
-      if (it != dir_.end()) {
-        it->second.sharers &= ~(1u << cpu);
-        if (it->second.owner == cpu) it->second.owner = -1;
-        if (it->second.sharers == 0 && it->second.owner < 0) dir_.erase(it);
-      }
+      dir_remove_cpu(w.line, cpu);
       w.state = St::I;
       w.spec_dirty = false;
     }
   }
+  sw.clear();
 }
 
 }  // namespace sim

@@ -16,10 +16,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/config.h"
+#include "sim/flat_map.h"
 #include "sim/stats.h"
 
 namespace sim {
@@ -93,12 +93,22 @@ class MemSys {
   Way& victim(int cpu, LineAddr line);
   void evict(int cpu, Way& w);
   void drop_from(int cpu, LineAddr line);  // cache+dir removal
+  void dir_remove_cpu(LineAddr line, int cpu);
 
   const Config& cfg_;
   Stats& stats_;
   Bus bus_;
   std::vector<std::vector<Way>> l1_;  // [cpu][set*assoc + way]
-  std::unordered_map<LineAddr, Dir> dir_;
+  // Ways a CPU has speculatively written (spec_dirty set by tx_store), so
+  // commit/abort clear exactly those instead of sweeping the whole L1.
+  // May hold stale indices (eviction clears the flag without unlisting);
+  // consumers re-check spec_dirty, which makes duplicates idempotent too.
+  std::vector<std::vector<std::uint32_t>> spec_ways_;
+  // Line directory as an open-addressing flat table.  NOTE: unlike
+  // unordered_map, insert AND erase can move other entries, so no Dir
+  // pointer/reference may be held across another dir_ mutation — the
+  // accessors below copy out and write back instead.
+  FlatMap<LineAddr, Dir> dir_;
   std::uint64_t lru_tick_ = 0;
 };
 

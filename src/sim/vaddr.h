@@ -1,0 +1,51 @@
+// Deterministic virtual addresses for simulated shared memory.
+//
+// The simulator's cost model is address-driven: line_of(addr) decides cache
+// sets, false sharing, and conflict granularity.  Using *host* heap addresses
+// for that made simulated cycle counts depend on the binary's data-segment
+// layout — recompiling (or even linking in an unrelated object) shifted every
+// malloc and with it every cycle total.  Instead, each simulated memory word
+// (a Shared<T> cell or a Mutex lock word) is assigned a virtual address from
+// this bump allocator in construction order.
+//
+// Consequences, all deliberate:
+//  * cycle totals are a pure function of the workload (binary- and
+//    machine-independent), so golden-cycle tests and the CI perf gate can
+//    pin them exactly;
+//  * false sharing is modelled by construction adjacency: eight words per
+//    64-byte virtual line, in allocation order;
+//  * virtual addresses are dense and small, so the TM layer can index a
+//    flat reader directory by (line - base) instead of hashing.
+//
+// The counter is reset by each Engine's constructor.  Invariant: simulated
+// cells must be constructed after the Engine that simulates them (every
+// harness and test already does Engine -> Runtime -> data), and never reused
+// under a later Engine.  Addresses are never handed out twice within one
+// simulation, so there is no ABA on line identity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sim {
+
+/// Base of the simulated shared heap.  Non-zero so a virtual address can
+/// never be confused with a null pointer.
+inline constexpr std::uintptr_t kVaBase = std::uintptr_t{1} << 20;
+
+namespace detail {
+inline thread_local std::uintptr_t va_next = kVaBase;
+}  // namespace detail
+
+/// Allocates `bytes` (rounded up to a word) of simulated address space.
+inline std::uintptr_t va_alloc(std::size_t bytes) {
+  const std::uintptr_t a = detail::va_next;
+  detail::va_next += (bytes + 7u) & ~static_cast<std::uintptr_t>(7u);
+  return a;
+}
+
+/// Rewinds the allocator; called by Engine's constructor so each simulation
+/// lays out its cells from the same base.
+inline void va_reset() { detail::va_next = kVaBase; }
+
+}  // namespace sim

@@ -140,15 +140,17 @@ void check_txn_sets(const detail::Txn& t) {
            id_str(id) + " write-set index has " + std::to_string(t.write_idx.size()) +
                " entries but redo log has " + std::to_string(t.writes.size()));
   }
-  for (const auto& [addr, idx] : t.write_idx) {
+  bool idx_reported = false;
+  t.write_idx.for_each([&](std::uintptr_t addr, const std::uint32_t& idx) {
+    if (idx_reported) return;
     if (idx >= t.writes.size() || t.writes[idx].addr != addr) {
       report(Check::kSetCorruption,
              id_str(id) + " write-set index entry for " +
                  ptr_str(reinterpret_cast<const void*>(addr)) +
                  " does not match its redo-log slot");
-      break;  // one detailed report per commit is enough
+      idx_reported = true;  // one detailed report per commit is enough
     }
-  }
+  });
   for (const auto& u : t.write_undo) {
     if (u.idx >= t.writes.size()) {
       report(Check::kSetCorruption,
@@ -161,14 +163,44 @@ void check_txn_sets(const detail::Txn& t) {
            id_str(id) + " frame depth " + std::to_string(t.depth) + " != " +
                std::to_string(t.marks.size()) + " frame marks");
   }
-  for (const auto& [line, frame] : t.read_frame) {
+  bool frame_reported = false;
+  t.read_frame.for_each([&](sim::LineAddr, const std::int32_t& frame) {
+    if (frame_reported) return;
     if (frame < 0 || frame > t.depth) {
       report(Check::kSetCorruption,
              id_str(id) + " read-set entry owned by frame " + std::to_string(frame) +
                  " outside [0, " + std::to_string(t.depth) + "]");
-      break;
+      frame_reported = true;
     }
+  });
+  // Read-log / read-set agreement: every live first-read entry (prev < 0)
+  // corresponds to exactly one read-set line.  This is also the invariant
+  // the runtime's reader directory maintenance is keyed to.
+  std::size_t first_reads = 0;
+  for (const auto& [line, prev] : t.read_log) {
+    if (prev < 0) ++first_reads;
   }
+  if (first_reads != t.read_frame.size()) {
+    report(Check::kSetCorruption,
+           id_str(id) + " read log records " + std::to_string(first_reads) +
+               " first-reads but the read set has " + std::to_string(t.read_frame.size()) +
+               " lines");
+  }
+}
+
+void check_reader_dir(const detail::Txn& t, const ReaderDir& dir) {
+  const TxnId id{t.cpu, t.incarnation};
+  bool reported = false;
+  t.read_frame.for_each([&](sim::LineAddr line, const std::int32_t&) {
+    if (reported) return;
+    if (dir.count(line, t.cpu) == 0) {
+      report(Check::kSetCorruption,
+             id_str(id) + " read-set line " + std::to_string(line) +
+                 " holds no reader-directory reference: a committer of that "
+                 "line would not flag this transaction");
+      reported = true;
+    }
+  });
 }
 
 // ---- Shared-cell registry ----

@@ -69,6 +69,10 @@ void handler_pairing(const TxnId& id, std::size_t top_commit_handlers,
                      std::size_t top_abort_handlers);
 void txn_finished(const TxnId& id, bool committed);
 void check_txn_sets(const detail::Txn& t);
+/// Cross-checks the reader directory against a transaction's read set:
+/// every line a live transaction has read must hold at least one
+/// reader-directory reference for its CPU (else a committer would miss it).
+void check_reader_dir(const detail::Txn& t, const ReaderDir& dir);
 
 // ---- hooks: Shared-cell registry (called by tm/shared.h) ----
 void note_shared(std::uintptr_t addr, std::uint32_t size);
@@ -92,6 +96,7 @@ inline void locks_released_all(const TxnId&, const void*) {}
 inline void handler_pairing(const TxnId&, std::size_t, std::size_t) {}
 inline void txn_finished(const TxnId&, bool) {}
 inline void check_txn_sets(const detail::Txn&) {}
+inline void check_reader_dir(const detail::Txn&, const ReaderDir&) {}
 inline void note_shared(std::uintptr_t, std::uint32_t) {}
 inline void forget_shared(std::uintptr_t) {}
 inline void naked_store(std::uintptr_t) {}

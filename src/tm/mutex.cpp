@@ -8,7 +8,7 @@ void Mutex::lock() {
   if (!sim::Engine::in_worker()) return;
   sim::Engine& e = sim::Engine::get();
   const int me = e.cpu_id();
-  const auto addr = reinterpret_cast<std::uintptr_t>(&word_);
+  const std::uintptr_t addr = vaddr_;
   if (owner_ == me) throw std::logic_error("atomos::Mutex: recursive lock");
 
   int spins = 0;
@@ -42,8 +42,7 @@ void Mutex::unlock() {
   sim::Engine& e = sim::Engine::get();
   const int me = e.cpu_id();
   if (owner_ != me) throw std::logic_error("atomos::Mutex: unlock by non-owner");
-  const auto addr = reinterpret_cast<std::uintptr_t>(&word_);
-  e.advance_to(e.memsys().plain_store(me, addr, e.now()));
+  e.advance_to(e.memsys().plain_store(me, vaddr_, e.now()));
   if (!waiters_.empty()) {
     const int next = waiters_.front();
     waiters_.pop_front();

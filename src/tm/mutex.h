@@ -2,15 +2,16 @@
 //
 // Models a test-and-test-and-set spinlock with a bounded spin phase followed
 // by FIFO parking — the flavour of adaptive monitor a JVM provides.  The
-// lock word has a real address, so acquiring a contended lock pays MESI
-// line ping-pong on the simulated bus, and the holder's critical section
-// serializes waiters in virtual time.
+// lock word has a simulated (virtual) address, so acquiring a contended lock
+// pays MESI line ping-pong on the simulated bus, and the holder's critical
+// section serializes waiters in virtual time.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 
 #include "sim/engine.h"
+#include "sim/vaddr.h"
 
 namespace atomos {
 
@@ -35,7 +36,7 @@ class Mutex {
 
   int owner_ = -1;                 // virtual CPU holding the lock
   std::deque<int> waiters_;        // parked CPUs, FIFO
-  std::uint64_t word_ = 0;         // gives the lock a real, timed address
+  std::uintptr_t vaddr_ = sim::va_alloc(8);  // timed address of the lock word
 };
 
 /// RAII guard (CP.20: use RAII, never plain lock()/unlock()).

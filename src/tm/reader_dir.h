@@ -1,0 +1,82 @@
+// Line reader directory: which CPUs currently have a line in a read set.
+//
+// TCC conflict detection happens at commit: the committer walks its write
+// set and must flag every other transaction that read one of the written
+// lines.  Scanning every CPU's whole open-nesting stack for every line made
+// that O(write-set x CPUs x depth) even when nobody read anything.  This
+// directory inverts the read sets: per line, a bitmask of reader CPUs plus a
+// per-(line, cpu) count (one CPU can hold a line in several stacked
+// transactions' read sets at once — a parent and its open-nested child).
+//
+// Maintenance piggybacks on the read-log discipline the runtime already
+// has: a transaction's read_log entry with prev < 0 marks the moment a line
+// *entered* that transaction's read set, so
+//   add()    on every prev<0 read-log append,
+//   remove() when frame rollback undoes a prev<0 entry, and
+//   remove() for each line left in read_frame when the transaction ends.
+// The invariant (checked under TXCC_CHECKED) is count(line, cpu) ==
+// number of transactions on cpu whose read_frame contains line.
+//
+// Virtual addresses (sim/vaddr.h) are dense, so this is flat-array
+// indexing, not hashing: idx = line - (kVaBase >> kLineShift).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/memsys.h"
+#include "sim/vaddr.h"
+
+namespace atomos {
+
+class ReaderDir {
+ public:
+  explicit ReaderDir(int num_cpus) : ncpu_(static_cast<std::size_t>(num_cpus)) {}
+
+  void add(sim::LineAddr line, int cpu) {
+    const std::size_t i = index(line);
+    if (i >= mask_.size()) {
+      mask_.resize(i + 1, 0);
+      cnt_.resize((i + 1) * ncpu_, 0);
+    }
+    std::uint8_t& c = cnt_[i * ncpu_ + static_cast<std::size_t>(cpu)];
+    assert(c < 0xff && "reader count overflow (open-nesting depth > 255?)");
+    ++c;
+    mask_[i] |= (1u << cpu);
+  }
+
+  void remove(sim::LineAddr line, int cpu) {
+    const std::size_t i = index(line);
+    assert(i < mask_.size());
+    std::uint8_t& c = cnt_[i * ncpu_ + static_cast<std::size_t>(cpu)];
+    assert(c > 0 && "reader directory underflow");
+    if (--c == 0) mask_[i] &= ~(1u << cpu);
+  }
+
+  /// Bitmask of CPUs with `line` in at least one live read set.
+  std::uint32_t mask(sim::LineAddr line) const {
+    const std::size_t i = index(line);
+    return i < mask_.size() ? mask_[i] : 0;
+  }
+
+  std::uint32_t count(sim::LineAddr line, int cpu) const {
+    const std::size_t i = index(line);
+    return i < mask_.size() ? cnt_[i * ncpu_ + static_cast<std::size_t>(cpu)] : 0;
+  }
+
+ private:
+  static constexpr sim::LineAddr kLineBase = sim::kVaBase >> sim::Config::kLineShift;
+
+  static std::size_t index(sim::LineAddr line) {
+    assert(line >= kLineBase && "reader directory line below the virtual heap");
+    return static_cast<std::size_t>(line - kLineBase);
+  }
+
+  std::size_t ncpu_;
+  std::vector<std::uint32_t> mask_;  // [line]: reader-CPU bitmask
+  std::vector<std::uint8_t> cnt_;    // [line * ncpu + cpu]: live read-set refs
+};
+
+}  // namespace atomos

@@ -2,41 +2,36 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
 
 #include "tm/audit.h"
 #include "tm/profile.h"
 
 namespace atomos {
-namespace {
-
-thread_local Runtime* g_runtime = nullptr;
-
-}  // namespace
 
 using detail::Txn;
 
 Runtime::Runtime(sim::Engine& eng, std::unique_ptr<ContentionManager> cm)
     : eng_(eng),
       cm_(cm != nullptr ? std::move(cm) : std::make_unique<PoliteBackoff>()),
-      ctx_(static_cast<std::size_t>(eng.config().num_cpus)) {
-  if (g_runtime != nullptr)
+      ctx_(static_cast<std::size_t>(eng.config().num_cpus)),
+      reader_dir_(eng.config().num_cpus) {
+  if (tls_runtime_ != nullptr)
     throw std::logic_error("atomos::Runtime: another runtime is already active on this thread");
-  g_runtime = this;
+  tls_runtime_ = this;
 }
 
 Runtime::~Runtime() {
   // Free anything still parked in purgatory (simulation is over).
   for (auto& p : purgatory_) p.del(p.ptr);
-  g_runtime = nullptr;
+  for (CpuCtx& c : ctx_) {
+    for (detail::Txn* t : c.pool) delete t;
+  }
+  tls_runtime_ = nullptr;
 }
 
-Runtime& Runtime::current() {
-  if (g_runtime == nullptr) throw std::logic_error("atomos::Runtime: none active");
-  return *g_runtime;
+void Runtime::throw_no_runtime() {
+  throw std::logic_error("atomos::Runtime: none active");
 }
-
-bool Runtime::active() { return g_runtime != nullptr; }
 
 Txn* Runtime::bottom_of(int cpu) {
   Txn* t = ctx(cpu).cur;
@@ -68,30 +63,41 @@ bool Runtime::violate(const TxnId& victim) {
 Txn* Runtime::begin_txn(int cpu, bool open, int attempt) {
   CpuCtx& c = ctx(cpu);
   check_kill(cpu);  // do not start children under a doomed ancestor
-  auto* t = new Txn();
-  t->cpu = cpu;
-  t->open = open;
-  t->parent = c.cur;
-  assert(open || t->parent == nullptr);  // closed nesting uses frames
-  t->incarnation = c.next_incarnation++;
-  t->epoch = next_epoch_++;
-  t->start_clock = eng_.now();
-  t->attempt = attempt;
+  Txn* t;
+  if (!c.pool.empty()) {
+    t = c.pool.back();
+    c.pool.pop_back();
+  } else {
+    t = new Txn();
+  }
+  assert(open || c.cur == nullptr);  // closed nesting uses frames
+  t->reset(cpu, c.next_incarnation++, next_epoch_++, open, c.cur, eng_.now(), attempt);
   c.cur = t;
   eng_.tick(eng_.config().txn_begin_cycles);
   return t;
 }
 
-void Runtime::check_kill(int cpu) {
+void Runtime::release_txn(Txn* t) {
+  // The lines still in the read set hold reader-directory references; drop
+  // them before the Txn identity disappears into the pool.
+  const int cpu = t->cpu;
+  t->read_frame.for_each(
+      [this, cpu](sim::LineAddr line, const std::int32_t&) { reader_dir_.remove(line, cpu); });
+  // Destroy captured state promptly (handlers can pin user objects); the
+  // plain-data logs keep their capacity for the next incarnation.
+  t->commit_handlers.clear();
+  t->abort_handlers.clear();
+  t->top_commit_handlers.clear();
+  t->top_abort_handlers.clear();
+  ctx(cpu).pool.push_back(t);
+}
+
+void Runtime::report_violation(int cpu, Txn* flagged) {
   // Note: abort-handler (compensation) transactions are NOT exempt — they
   // run detached (their doomed ancestors are unreachable from ctx.cur), and
   // their own memory conflicts must retry like any other transaction's.
-  // Find the outermost flagged transaction: it dominates everything nested.
-  Txn* flagged = nullptr;
-  for (Txn* t = ctx(cpu).cur; t != nullptr; t = t->parent) {
-    if (t->kill_frame >= 0) flagged = t;
-  }
-  if (flagged == nullptr) return;
+  // check_kill passed the outermost flagged transaction: it dominates
+  // everything nested inside it.
   auto& st = eng_.stats().cpu(cpu);
   if (flagged->kill_semantic) st.semantic_violations++;
   if (!flagged->open && flagged->parent == nullptr && flagged->kill_frame == 0) {
@@ -128,8 +134,8 @@ void Runtime::pop_frame_commit(Txn& t) {
   const detail::FrameMark& m = t.marks.back();
   const int parent_depth = t.depth - 1;
   for (std::size_t i = m.read_log; i < t.read_log.size(); ++i) {
-    auto it = t.read_frame.find(t.read_log[i].first);
-    if (it != t.read_frame.end() && it->second > parent_depth) it->second = parent_depth;
+    std::int32_t* f = t.read_frame.find(t.read_log[i].first);
+    if (f != nullptr && *f > parent_depth) *f = parent_depth;
   }
   // Writes, handlers, allocs and deletes transfer positionally: they simply
   // stay in the logs, now below the parent's high-water mark.
@@ -155,13 +161,16 @@ void Runtime::pop_frame_abort(Txn& t) {
   }
   t.writes.resize(m.writes);
 
-  // Roll back read-set ownership changes (reverse order).
+  // Roll back read-set ownership changes (reverse order).  Undoing a
+  // first-read (prev < 0) also drops the line's reader-directory reference:
+  // the aborted frame's reads must not attract violations any more.
   for (std::size_t i = t.read_log.size(); i > m.read_log; --i) {
     const auto& [line, prev] = t.read_log[i - 1];
     if (prev < 0) {
       t.read_frame.erase(line);
+      reader_dir_.remove(line, t.cpu);
     } else {
-      t.read_frame[line] = prev;
+      *t.read_frame.find(line) = prev;
     }
   }
   t.read_log.resize(m.read_log);
@@ -253,36 +262,52 @@ void Runtime::release_token(int cpu) {
   }
 }
 
-void Runtime::broadcast_and_apply(Txn& t) {
-  // Gather the write-set lines, time the commit broadcast, invalidate other
-  // caches' copies, flag conflicting readers, then apply buffered values.
-  std::unordered_set<sim::LineAddr> lines;
-  lines.reserve(t.writes.size());
-  for (const auto& w : t.writes) lines.insert(sim::line_of(w.addr));
-
-  eng_.advance_to(eng_.memsys().tcc_commit(t.cpu, lines.size(), eng_.now()));
-
+/// Flags every transaction (other than the committer's CPU's own stack) that
+/// has `line` in a live read set.  Shared by the commit broadcast and the
+/// naked-store path; also charges the TAPE-style `violations@<cell>` counter
+/// when profiling is on.  The reader directory narrows the scan to CPUs that
+/// actually read the line, so a commit costs O(write lines x real readers).
+void Runtime::flag_readers(sim::LineAddr line, int committer) {
+  std::uint32_t mask = reader_dir_.mask(line);
+  mask &= ~(1u << committer);
+  if (mask == 0) return;
   const bool profiling = Profile::instance().enabled();
-  for (const sim::LineAddr line : lines) {
-    eng_.memsys().invalidate_copies(t.cpu, line);
-    for (int c = 0; c < eng_.config().num_cpus; ++c) {
-      if (c == t.cpu) continue;
-      for (Txn* v = ctx(c).cur; v != nullptr; v = v->parent) {
-        // Ancestors of the committer are exempt by construction (they are on
-        // another CPU here, so no exemption needed).
-        auto it = v->read_frame.find(line);
-        if (it == v->read_frame.end()) continue;
-        const int frame = it->second;
-        if (v->kill_frame < 0 || frame < v->kill_frame) v->kill_frame = frame;
-        if (profiling) {
-          const char* name = Profile::instance().find(line);
-          eng_.stats().bump(std::string("violations@") + (name != nullptr ? name : "<unnamed>"));
-        }
+  for (int c = 0; mask != 0; ++c, mask >>= 1) {
+    if ((mask & 1u) == 0) continue;
+    for (Txn* v = ctx(c).cur; v != nullptr; v = v->parent) {
+      // Ancestors of the committer are exempt by construction (they are on
+      // another CPU here, so no exemption needed).
+      const std::int32_t* f = v->read_frame.find(line);
+      if (f == nullptr) continue;
+      const int frame = *f;
+      if (v->kill_frame < 0 || frame < v->kill_frame) v->kill_frame = frame;
+      if (profiling) {
+        const char* name = Profile::instance().find(line);
+        eng_.stats().bump(std::string("violations@") + (name != nullptr ? name : "<unnamed>"));
       }
     }
   }
+}
+
+void Runtime::broadcast_and_apply(Txn& t) {
+  // Gather the write-set lines (de-duplicated into a reusable scratch
+  // buffer), time the commit broadcast, invalidate other caches' copies,
+  // flag conflicting readers, then apply buffered values to host storage.
+  scratch_lines_.clear();
+  scratch_seen_.clear();
   for (const auto& w : t.writes) {
-    std::memcpy(reinterpret_cast<void*>(w.addr), &w.val, w.size);
+    const sim::LineAddr line = sim::line_of(w.addr);
+    if (scratch_seen_.try_emplace(line, 0).second) scratch_lines_.push_back(line);
+  }
+
+  eng_.advance_to(eng_.memsys().tcc_commit(t.cpu, scratch_lines_.size(), eng_.now()));
+
+  for (const sim::LineAddr line : scratch_lines_) {
+    eng_.memsys().invalidate_copies(t.cpu, line);
+    flag_readers(line, t.cpu);
+  }
+  for (const auto& w : t.writes) {
+    std::memcpy(w.host, &w.val, w.size);
   }
 }
 
@@ -328,6 +353,7 @@ void Runtime::commit_txn(Txn* t) {
       // With the token held and the logs final, the read/write sets must be
       // internally consistent before anything is broadcast (txcheck).
       audit::check_txn_sets(*t);
+      audit::check_reader_dir(*t, reader_dir_);
       // Run commit handlers inside the token, each as a closed-nested
       // frame; they may register further commit handlers (run too).
       if (runs_handlers) {
@@ -382,7 +408,7 @@ void Runtime::commit_txn(Txn* t) {
     audit::txn_finished(id, /*committed=*/true);
   }
   c.cur = t->parent;
-  delete t;
+  release_txn(t);
   if (!purgatory_.empty()) collect_garbage();
 }
 
@@ -418,7 +444,7 @@ void Runtime::abort_txn(Txn* t) {
     } catch (...) {
       c.in_abort_handlers = saved_flag;
       c.cur = saved;
-      delete t;
+      release_txn(t);
       throw;
     }
     c.in_abort_handlers = saved_flag;
@@ -433,7 +459,7 @@ void Runtime::abort_txn(Txn* t) {
   }
   const std::uint64_t penalty = eng_.config().violation_cycles +
                                 cm_->backoff_cycles(t->cpu, t->attempt);
-  delete t;
+  release_txn(t);
   eng_.tick(penalty);
 }
 
@@ -462,20 +488,25 @@ void Runtime::tm_read(std::uintptr_t addr, void* out, std::uint32_t size,
     return;
   }
   // Track the read line in the innermost transaction at the current frame.
+  // A first read (insertion) also registers this CPU in the line's reader
+  // directory, which is how committers find us.
   const sim::LineAddr line = sim::line_of(addr);
-  auto [it, inserted] = t->read_frame.try_emplace(line, t->depth);
+  auto [frame, inserted] = t->read_frame.try_emplace(line, t->depth);
   if (inserted) {
     t->read_log.emplace_back(line, -1);
-  } else if (it->second > t->depth) {
-    t->read_log.emplace_back(line, it->second);
-    it->second = t->depth;
+    reader_dir_.add(line, cpu);
+  } else if (*frame > t->depth) {
+    t->read_log.emplace_back(line, *frame);
+    *frame = t->depth;
   }
   // Read-own-writes: innermost buffered value wins, walking out through
-  // enclosing (open-nesting) ancestors.
+  // enclosing (open-nesting) ancestors.  The per-transaction write summary
+  // short-circuits the walk for addresses no level ever wrote.
   for (Txn* s = t; s != nullptr; s = s->parent) {
-    auto w = s->write_idx.find(addr);
-    if (w != s->write_idx.end()) {
-      std::memcpy(out, &s->writes[w->second].val, size);
+    if (!s->may_have_write(addr)) continue;
+    const std::uint32_t* w = s->write_idx.find(addr);
+    if (w != nullptr) {
+      std::memcpy(out, &s->writes[*w].val, size);
       return;
     }
   }
@@ -490,29 +521,24 @@ void Runtime::tm_write(std::uintptr_t addr, const void* in, std::uint32_t size,
   Txn* t = ctx(cpu).cur;
   if (t == nullptr) {
     // Non-transactional store in Tcc mode: commits instantly; flag any
-    // in-flight reader of the line (mini TCC commit).
-    audit::naked_store(addr);
+    // in-flight reader of the line (mini TCC commit).  The audit registry is
+    // keyed by host storage, not the simulated address.
+    audit::naked_store(reinterpret_cast<std::uintptr_t>(committed));
     std::memcpy(committed, in, size);
     const sim::LineAddr line = sim::line_of(addr);
     eng_.memsys().invalidate_copies(cpu, line);
-    for (int c = 0; c < eng_.config().num_cpus; ++c) {
-      if (c == cpu) continue;
-      for (Txn* v = ctx(c).cur; v != nullptr; v = v->parent) {
-        auto it = v->read_frame.find(line);
-        if (it == v->read_frame.end()) continue;
-        if (v->kill_frame < 0 || it->second < v->kill_frame) v->kill_frame = it->second;
-      }
-    }
+    flag_readers(line, cpu);
     return;
   }
   std::uint64_t val = 0;
   std::memcpy(&val, in, size);
-  auto [it, inserted] = t->write_idx.try_emplace(addr, t->writes.size());
+  auto [idx, inserted] = t->write_idx.try_emplace(addr, static_cast<std::uint32_t>(t->writes.size()));
   if (inserted) {
-    t->writes.push_back(detail::WriteEntry{addr, val, size});
+    t->writes.push_back(detail::WriteEntry{addr, committed, val, size});
+    t->note_write(addr);
   } else {
-    detail::WriteEntry& e = t->writes[it->second];
-    t->write_undo.push_back(detail::Txn::WriteUndo{it->second, e.val, e.size});
+    detail::WriteEntry& e = t->writes[*idx];
+    t->write_undo.push_back(detail::Txn::WriteUndo{*idx, e.val, e.size});
     e.val = val;
     e.size = size;
   }

@@ -30,12 +30,13 @@
 #include <memory>
 #include <stdexcept>
 #include <type_traits>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "sim/engine.h"
+#include "sim/flat_map.h"
 #include "tm/contention.h"
+#include "tm/reader_dir.h"
 
 namespace atomos {
 
@@ -58,7 +59,8 @@ struct Violated {
 namespace detail {
 
 struct WriteEntry {
-  std::uintptr_t addr;
+  std::uintptr_t addr;  // virtual address (conflict identity / timing)
+  void* host;           // committed host storage, written at commit apply
   std::uint64_t val;
   std::uint32_t size;
 };
@@ -76,6 +78,11 @@ struct FrameMark {
 /// One transaction: a top-level transaction or an open-nested child.
 /// Closed nesting is represented as frames *within* one Txn; all frame
 /// rollback is positional (log truncation to the frame's FrameMark).
+///
+/// Txn objects are pooled per CPU: reset() rearms one for a fresh
+/// incarnation in O(live entries) — the flat maps clear by generation bump
+/// and the log vectors keep their capacity, so a retry loop stops paying
+/// allocator and rehash costs after its first attempt.
 struct Txn {
   int cpu = -1;
   std::uint64_t incarnation = 0;
@@ -91,14 +98,29 @@ struct Txn {
   bool kill_semantic = false;
 
   // Read set: line -> shallowest frame that read it, with an undo log.
-  std::unordered_map<sim::LineAddr, int> read_frame;
+  sim::FlatMap<sim::LineAddr, std::int32_t> read_frame;
   std::vector<std::pair<sim::LineAddr, int>> read_log;  // (line, prev frame or -1)
 
   // Redo-log write set.  Entries are unique per address (repeat writes are
   // in-place updates recorded in write_undo), so frame rollback is
   // "reverse-apply write_undo, then truncate writes".
-  std::unordered_map<std::uintptr_t, std::size_t> write_idx;
+  sim::FlatMap<std::uintptr_t, std::uint32_t> write_idx;
   std::vector<WriteEntry> writes;
+
+  // 256-bit Bloom-style summary of written addresses.  tm_read consults it
+  // before probing write_idx on each open-nesting ancestor, so read-mostly
+  // transactions skip the read-own-writes walk entirely.  Bits are never
+  // cleared by frame rollback (stale bits only cost a wasted probe).
+  std::uint64_t write_filter[4] = {0, 0, 0, 0};
+
+  void note_write(std::uintptr_t addr) {
+    const std::uint64_t h = sim::hash_u64(addr);
+    write_filter[(h >> 6) & 3u] |= std::uint64_t{1} << (h & 63u);
+  }
+  bool may_have_write(std::uintptr_t addr) const {
+    const std::uint64_t h = sim::hash_u64(addr);
+    return (write_filter[(h >> 6) & 3u] >> (h & 63u)) & 1u;
+  }
   struct WriteUndo {
     std::size_t idx;
     std::uint64_t prev_val;
@@ -137,6 +159,35 @@ struct Txn {
   std::vector<Resource> deletes;
 
   std::vector<FrameMark> marks;  // one per open closed-nested frame
+
+  /// Rearms a pooled Txn for a new incarnation.  The vectors keep their
+  /// capacity; the flat maps clear in O(1) by generation bump.
+  void reset(int cpu_, std::uint64_t incarnation_, std::uint64_t epoch_, bool open_,
+             Txn* parent_, std::uint64_t start_clock_, int attempt_) {
+    cpu = cpu_;
+    incarnation = incarnation_;
+    epoch = epoch_;
+    open = open_;
+    parent = parent_;
+    depth = 0;
+    start_clock = start_clock_;
+    attempt = attempt_;
+    kill_frame = -1;
+    kill_semantic = false;
+    read_frame.clear();
+    read_log.clear();
+    write_idx.clear();
+    writes.clear();
+    write_undo.clear();
+    write_filter[0] = write_filter[1] = write_filter[2] = write_filter[3] = 0;
+    commit_handlers.clear();
+    abort_handlers.clear();
+    top_commit_handlers.clear();
+    top_abort_handlers.clear();
+    allocs.clear();
+    deletes.clear();
+    marks.clear();
+  }
 };
 
 }  // namespace detail
@@ -154,8 +205,13 @@ class Runtime {
   Runtime& operator=(const Runtime&) = delete;
 
   /// The runtime attached to the engine currently running on this thread.
-  static Runtime& current();
-  static bool active();
+  static Runtime& current() {
+    if (tls_runtime_ == nullptr) throw_no_runtime();
+    return *tls_runtime_;
+  }
+  static bool active() { return tls_runtime_ != nullptr; }
+  /// The active runtime, or nullptr (single thread-local load for hot paths).
+  static Runtime* current_or_null() { return tls_runtime_; }
 
   sim::Engine& engine() { return eng_; }
   sim::Mode mode() const { return eng_.config().mode; }
@@ -230,8 +286,9 @@ class Runtime {
  private:
   struct CpuCtx {
     detail::Txn* cur = nullptr;  // innermost txn (open-nesting stack tip)
-    std::uint64_t next_incarnation = 1;
+    std::uint64_t next_incarnation = 1;  // outlives pooled Txns: ids stay unique
     bool in_abort_handlers = false;  // this CPU is running compensation
+    std::vector<detail::Txn*> pool;  // retired Txns awaiting reuse
   };
 
   CpuCtx& ctx(int cpu) { return ctx_[static_cast<std::size_t>(cpu)]; }
@@ -241,13 +298,24 @@ class Runtime {
   detail::Txn* begin_txn(int cpu, bool open, int attempt);
   void commit_txn(detail::Txn* t);  // may throw Violated (flag seen at commit)
   void abort_txn(detail::Txn* t);   // rollback + abort handlers + backoff
+  void release_txn(detail::Txn* t);  // drop read-set dir refs, park in pool
   void push_frame(detail::Txn& t);
   void pop_frame_commit(detail::Txn& t);
   void pop_frame_abort(detail::Txn& t);
   void clear_kill(detail::Txn& t);
-  void check_kill(int cpu);  // throws Violated if any txn on cpu is flagged
+  /// Throws Violated if any transaction on `cpu` is flagged.  The scan is
+  /// inline (almost always finds nothing); the throw path is out-of-line.
+  void check_kill(int cpu) {
+    detail::Txn* flagged = nullptr;
+    for (detail::Txn* t = ctx(cpu).cur; t != nullptr; t = t->parent) {
+      if (t->kill_frame >= 0) flagged = t;
+    }
+    if (flagged != nullptr) report_violation(cpu, flagged);
+  }
+  [[noreturn]] void report_violation(int cpu, detail::Txn* flagged);
   void acquire_token(int cpu);
   void release_token(int cpu);
+  void flag_readers(sim::LineAddr line, int committer);
   void broadcast_and_apply(detail::Txn& t);
   void collect_garbage();
 
@@ -305,9 +373,21 @@ class Runtime {
     }
   }
 
+  [[noreturn]] static void throw_no_runtime();
+
+  inline static thread_local Runtime* tls_runtime_ = nullptr;
+
   sim::Engine& eng_;
   std::unique_ptr<ContentionManager> cm_;
   std::vector<CpuCtx> ctx_;
+
+  // Line -> reader-CPU bitmask, maintained at read-log append/rollback time,
+  // so commits flag conflicting readers without scanning every CPU's stack.
+  ReaderDir reader_dir_;
+
+  // Commit-broadcast scratch (write-set line dedup), reused across commits.
+  std::vector<sim::LineAddr> scratch_lines_;
+  sim::FlatMap<sim::LineAddr, char> scratch_seen_;
 
   // Global commit token (TCC commit arbitration): serializes commits and
   // makes commit handlers immune to violation while they run.

@@ -12,10 +12,13 @@
 //
 // T must be trivially copyable and at most 8 bytes (words): pointers,
 // integers, bools, small enums.  Aggregate state is built from nodes that
-// contain Shared fields (see src/jstd).  The cell's *address* is its
-// identity for conflict detection, so Shared is neither copyable nor
-// movable; false sharing between neighbouring cells on one cache line is
-// deliberately modelled, as on the paper's HTM.
+// contain Shared fields (see src/jstd).  The cell's *simulated address* —
+// a deterministic virtual address assigned at construction (sim/vaddr.h) —
+// is its identity for conflict detection and timing, so Shared is neither
+// copyable nor movable; false sharing between cells constructed adjacently
+// (eight words per virtual cache line) is deliberately modelled, as on the
+// paper's HTM.  Using virtual rather than host addresses makes simulated
+// cycle counts independent of the binary's memory layout.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +26,7 @@
 #include <type_traits>
 
 #include "sim/engine.h"
+#include "sim/vaddr.h"
 #include "tm/audit.h"
 #include "tm/profile.h"
 #include "tm/runtime.h"
@@ -35,15 +39,15 @@ class Shared {
   static_assert(sizeof(T) <= 8, "Shared<T> holds at most a machine word");
 
  public:
-  Shared() : v_{} {
+  Shared() : v_{}, va_(sim::va_alloc(sizeof(T))) {
     audit::note_shared(reinterpret_cast<std::uintptr_t>(&v_), sizeof(T));
   }
 
   /// `name` (optional) labels this cell's cache line for TAPE-style
   /// conflict profiling; pass a string with static storage duration.
-  explicit Shared(T v, const char* name = nullptr) : v_(v) {
+  explicit Shared(T v, const char* name = nullptr) : v_(v), va_(sim::va_alloc(sizeof(T))) {
     if (name != nullptr) {
-      Profile::instance().note_range(reinterpret_cast<std::uintptr_t>(&v_), sizeof(T), name);
+      Profile::instance().note_range(va_, sizeof(T), name);
     }
     audit::note_shared(reinterpret_cast<std::uintptr_t>(&v_), sizeof(T));
   }
@@ -58,32 +62,32 @@ class Shared {
 
   /// Transactionally reads the cell.
   T get() const {
-    if (!sim::Engine::in_worker()) return v_;
-    sim::Engine& e = sim::Engine::get();
-    const auto addr = reinterpret_cast<std::uintptr_t>(&v_);
+    sim::Engine* ep = sim::Engine::current_or_null();  // one TLS load
+    if (ep == nullptr || !ep->on_worker_fiber()) return v_;
+    sim::Engine& e = *ep;
     if (e.config().mode == sim::Mode::kLock) {
-      e.advance_to(e.memsys().plain_load(e.cpu_id(), addr, e.now()));
+      e.advance_to(e.memsys().plain_load(e.cpu_id(), va_, e.now()));
       return v_;
     }
     T out;
-    Runtime::current().tm_read(addr, &out, sizeof(T), &v_);
+    Runtime::current().tm_read(va_, &out, sizeof(T), &v_);
     return out;
   }
 
   /// Transactionally writes the cell.
   void set(const T& v) {
-    if (!sim::Engine::in_worker()) {
+    sim::Engine* ep = sim::Engine::current_or_null();  // one TLS load
+    if (ep == nullptr || !ep->on_worker_fiber()) {
       v_ = v;
       return;
     }
-    sim::Engine& e = sim::Engine::get();
-    const auto addr = reinterpret_cast<std::uintptr_t>(&v_);
+    sim::Engine& e = *ep;
     if (e.config().mode == sim::Mode::kLock) {
-      e.advance_to(e.memsys().plain_store(e.cpu_id(), addr, e.now()));
+      e.advance_to(e.memsys().plain_store(e.cpu_id(), va_, e.now()));
       v_ = v;
       return;
     }
-    Runtime::current().tm_write(addr, &v, sizeof(T), &v_);
+    Runtime::current().tm_write(va_, &v, sizeof(T), &v_);
   }
 
   /// Raw access to the committed value — only for assertions/test oracles
@@ -98,7 +102,8 @@ class Shared {
   }
 
  private:
-  T v_;
+  T v_;                     // committed host storage
+  std::uintptr_t va_;       // simulated address (conflict/timing identity)
 };
 
 }  // namespace atomos

@@ -1,0 +1,125 @@
+// Golden simulated-cycle regression tests.
+//
+// Pins the EXACT simulated-cycle totals of small fig1/fig2 configurations
+// (fixed seeds, fixed op counts) so host-side data-structure changes in the
+// runtime can never silently perturb the cost model: the simulator is
+// deterministic, so any drift here means simulated *timing* changed, which
+// is only allowed when the cost model itself is deliberately revised.
+//
+// To re-pin after an intentional cost-model change, run with
+// TCC_PRINT_GOLDEN=1 and paste the emitted rows over kFig1Golden/kFig2Golden.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/testmap_common.h"
+
+namespace {
+
+using namespace bench;
+
+struct GoldenRow {
+  const char* series;
+  int cpus;
+  std::uint64_t cycles;
+};
+
+TestMapParams small_params() {
+  TestMapParams p;
+  p.total_ops = 640;
+  p.think_cycles = 1000;
+  p.seed = 12345;
+  return p;
+}
+
+void check_goldens(const char* tag, const std::vector<harness::Series>& series,
+                   const GoldenRow* golden, std::size_t n_golden) {
+  const bool print = std::getenv("TCC_PRINT_GOLDEN") != nullptr;
+  const std::vector<int> cpu_counts = {1, 2, 4, 8};
+  std::size_t idx = 0;
+  for (const harness::Series& s : series) {
+    for (int cpus : cpu_counts) {
+      harness::RunResult r;
+      r.series = s.name;
+      r.cpus = cpus;
+      s.run(cpus, r);
+      if (print) {
+        std::printf("    {\"%s\", %d, %lluULL},  // %s\n", s.name.c_str(), cpus,
+                    static_cast<unsigned long long>(r.cycles), tag);
+        continue;
+      }
+      ASSERT_LT(idx, n_golden) << tag << ": golden table too short";
+      SCOPED_TRACE(std::string(tag) + " series=" + s.name + " cpus=" + std::to_string(cpus));
+      EXPECT_EQ(golden[idx].series, s.name);
+      EXPECT_EQ(golden[idx].cpus, cpus);
+      EXPECT_EQ(golden[idx].cycles, r.cycles);
+      ++idx;
+    }
+  }
+  if (!print) {
+    EXPECT_EQ(idx, n_golden) << tag << ": golden table too long";
+  }
+}
+
+TEST(GoldenCycles, Fig1TestMapSmall) {
+  TestMapParams p = small_params();
+  auto make_hash = [&p] {
+    return std::make_unique<jstd::HashMap<long, long>>(static_cast<std::size_t>(p.key_space) * 2);
+  };
+  auto make_wrapped = [&p, make_hash]() -> std::unique_ptr<jstd::Map<long, long>> {
+    return std::make_unique<tcc::TransactionalMap<long, long>>(make_hash());
+  };
+  const std::vector<harness::Series> series = {
+      java_series("Java HashMap", p, make_hash),
+      atomos_series("Atomos HashMap", p, make_hash),
+      atomos_series("Atomos TransactionalMap", p, make_wrapped),
+  };
+  static const GoldenRow kFig1Golden[] = {
+      {"Java HashMap", 1, 647146ULL},
+      {"Java HashMap", 2, 333908ULL},
+      {"Java HashMap", 4, 168498ULL},
+      {"Java HashMap", 8, 85640ULL},
+      {"Atomos HashMap", 1, 647571ULL},
+      {"Atomos HashMap", 2, 328095ULL},
+      {"Atomos HashMap", 4, 174317ULL},
+      {"Atomos HashMap", 8, 88232ULL},
+      {"Atomos TransactionalMap", 1, 666615ULL},
+      {"Atomos TransactionalMap", 2, 335549ULL},
+      {"Atomos TransactionalMap", 4, 169123ULL},
+      {"Atomos TransactionalMap", 8, 85182ULL},
+  };
+  check_goldens("fig1", series, kFig1Golden, std::size(kFig1Golden));
+}
+
+TEST(GoldenCycles, Fig2TestSortedMapSmall) {
+  TestMapParams p = small_params();
+  auto make_tree = [] { return std::make_unique<jstd::TreeMap<long, long>>(); };
+  auto make_wrapped = [make_tree]() -> std::unique_ptr<jstd::Map<long, long>> {
+    return std::make_unique<tcc::TransactionalSortedMap<long, long>>(make_tree());
+  };
+  const std::vector<harness::Series> series = {
+      java_series("Java TreeMap", p, make_tree),
+      atomos_series("Atomos TreeMap", p, make_tree),
+      atomos_series("Atomos TransactionalSortedMap", p, make_wrapped),
+  };
+  static const GoldenRow kFig2Golden[] = {
+      {"Java TreeMap", 1, 657711ULL},
+      {"Java TreeMap", 2, 342446ULL},
+      {"Java TreeMap", 4, 176361ULL},
+      {"Java TreeMap", 8, 102828ULL},
+      {"Atomos TreeMap", 1, 658730ULL},
+      {"Atomos TreeMap", 2, 362507ULL},
+      {"Atomos TreeMap", 4, 201598ULL},
+      {"Atomos TreeMap", 8, 126940ULL},
+      {"Atomos TransactionalSortedMap", 1, 736748ULL},
+      {"Atomos TransactionalSortedMap", 2, 379487ULL},
+      {"Atomos TransactionalSortedMap", 4, 198638ULL},
+      {"Atomos TransactionalSortedMap", 8, 105327ULL},
+  };
+  check_goldens("fig2", series, kFig2Golden, std::size(kFig2Golden));
+}
+
+}  // namespace

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI gate for the TM hot-path benchmark (bench/hotpath.cpp).
+
+Compares a fresh BENCH_hotpath.json against the committed baseline and fails
+when either
+
+  * normalized throughput (ops_per_sec / host calibration) of any scenario
+    regressed by more than --tolerance (default 25%), or
+  * a scenario's simulated cycle total changed at all — the hot-path work is
+    host-side only; simulated timing is part of the cost model and must be
+    bit-stable across builds.
+
+Usage: tools/check_hotpath.py BASELINE.json CURRENT.json [--tolerance 0.25]
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {r["name"]: r for r in doc["results"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional normalized-throughput regression")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    failed = False
+
+    for name, b in sorted(base.items()):
+        c = cur.get(name)
+        if c is None:
+            print(f"FAIL {name}: scenario missing from current run")
+            failed = True
+            continue
+        if b["sim_cycles"] != c["sim_cycles"]:
+            print(f"FAIL {name}: simulated cycles changed "
+                  f"{b['sim_cycles']} -> {c['sim_cycles']} "
+                  f"(host-side optimisation must not touch the cost model)")
+            failed = True
+        bn, cn = b.get("normalized"), c.get("normalized")
+        if not bn or not cn:
+            print(f"SKIP {name}: no normalized throughput recorded")
+            continue
+        ratio = cn / bn
+        verdict = "ok"
+        if ratio < 1.0 - args.tolerance:
+            verdict = f"FAIL (regressed beyond {args.tolerance:.0%})"
+            failed = True
+        print(f"{name}: normalized {bn:.4g} -> {cn:.4g}  ({ratio:.2f}x)  {verdict}")
+
+    if failed:
+        print("check_hotpath: FAILED")
+        return 1
+    print("check_hotpath: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
