@@ -8,10 +8,13 @@
 // HashMap wrapped in the transactional collection class — regains the Java
 // scalability while keeping whole-body atomicity.
 #include "bench/testmap_common.h"
+#include "harness/driver.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
+  const harness::Cli cli = harness::Cli::parse(argc, argv, "fig1_testmap");
   TestMapParams p;
+  if (cli.ops > 0) p.total_ops = static_cast<int>(cli.ops);
 
   auto make_hash = [&p] {
     return std::make_unique<jstd::HashMap<long, long>>(
@@ -26,7 +29,7 @@ int main() {
   series.push_back(atomos_series("Atomos HashMap", p, make_hash));
   series.push_back(atomos_series("Atomos TransactionalMap", p, make_wrapped));
 
-  harness::run_figure("Figure 1: TestMap (80% get / 10% put / 10% remove, long transactions)",
-                      series, paper_cpu_counts(), "fig1_testmap.csv");
-  return 0;
+  return harness::run_figure_main(
+      "Figure 1: TestMap (80% get / 10% put / 10% remove, long transactions)", series,
+      paper_cpu_counts(), "fig1_testmap.csv", cli);
 }

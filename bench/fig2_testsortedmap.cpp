@@ -7,6 +7,7 @@
 // independent operations; "Atomos TransactionalSortedMap" — the same
 // TreeMap wrapped — regains scalability via range/endpoint/key locks.
 #include "bench/testmap_common.h"
+#include "harness/driver.h"
 
 namespace bench {
 
@@ -31,7 +32,8 @@ void testsortedmap_op(MapT& map, long key_space, std::uint64_t& s) {
 template <class MakeMap>
 harness::Series java_sorted(const std::string& name, const TestMapParams& p, MakeMap make_map) {
   return harness::Series{
-      name, sim::Mode::kLock, [p, make_map](int cpus, harness::RunResult& out) {
+      name, sim::Mode::kLock,
+      [p, make_map](int cpus, std::uint64_t salt, harness::RunResult& out) {
         sim::Engine eng(make_cfg(sim::Mode::kLock, cpus));
         atomos::Runtime rt(eng);
         auto map = make_map();
@@ -39,8 +41,8 @@ harness::Series java_sorted(const std::string& name, const TestMapParams& p, Mak
         atomos::Mutex mu;
         const int per_cpu = p.total_ops / cpus;
         for (int c = 0; c < cpus; ++c) {
-          eng.spawn([&, c] {
-            std::uint64_t s = p.seed + static_cast<std::uint64_t>(c) * 7919;
+          eng.spawn([&, c, salt] {
+            std::uint64_t s = p.seed + salt + static_cast<std::uint64_t>(c) * 7919;
             for (int i = 0; i < per_cpu; ++i) {
               atomos::Runtime::current().work(p.think_cycles / 2);
               {
@@ -59,15 +61,16 @@ harness::Series java_sorted(const std::string& name, const TestMapParams& p, Mak
 template <class MakeMap>
 harness::Series atomos_sorted(const std::string& name, const TestMapParams& p, MakeMap make_map) {
   return harness::Series{
-      name, sim::Mode::kTcc, [p, make_map](int cpus, harness::RunResult& out) {
+      name, sim::Mode::kTcc,
+      [p, make_map](int cpus, std::uint64_t salt, harness::RunResult& out) {
         sim::Engine eng(make_cfg(sim::Mode::kTcc, cpus));
         atomos::Runtime rt(eng);
         auto map = make_map();
         for (long k = 0; k < p.prepopulate; ++k) map->put(k * 2 % p.key_space, k);
         const int per_cpu = p.total_ops / cpus;
         for (int c = 0; c < cpus; ++c) {
-          eng.spawn([&, c] {
-            std::uint64_t s = p.seed + static_cast<std::uint64_t>(c) * 7919;
+          eng.spawn([&, c, salt] {
+            std::uint64_t s = p.seed + salt + static_cast<std::uint64_t>(c) * 7919;
             for (int i = 0; i < per_cpu; ++i) {
               const std::uint64_t body_seed = s;
               atomos::atomically([&] {
@@ -88,11 +91,13 @@ harness::Series atomos_sorted(const std::string& name, const TestMapParams& p, M
 
 }  // namespace bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
+  const harness::Cli cli = harness::Cli::parse(argc, argv, "fig2_testsortedmap");
   TestMapParams p;
   p.total_ops = 2400;       // range scans are heavier than point lookups
   p.think_cycles = 10000;   // keep the compute-to-scan ratio paper-like
+  if (cli.ops > 0) p.total_ops = static_cast<int>(cli.ops);
 
   auto make_tree = [] { return std::make_unique<jstd::TreeMap<long, long>>(); };
   auto make_wrapped = [make_tree]() -> std::unique_ptr<jstd::SortedMap<long, long>> {
@@ -104,8 +109,7 @@ int main() {
   series.push_back(atomos_sorted("Atomos TreeMap", p, make_tree));
   series.push_back(atomos_sorted("Atomos TransactionalSortedMap", p, make_wrapped));
 
-  harness::run_figure(
+  return harness::run_figure_main(
       "Figure 2: TestSortedMap (80% subMap median / 10% put / 10% remove, long transactions)",
-      series, paper_cpu_counts(), "fig2_testsortedmap.csv");
-  return 0;
+      series, paper_cpu_counts(), "fig2_testsortedmap.csv", cli);
 }

@@ -8,6 +8,7 @@
 // with TransactionalMap it is BOTH composable and scalable — the paper's
 // "composability without sacrificing concurrency" result.
 #include "bench/testmap_common.h"
+#include "harness/driver.h"
 
 namespace bench {
 
@@ -30,7 +31,8 @@ void compound_op(MapT& map, long key_space, std::uint64_t& s, std::uint64_t inne
 template <class MakeMap>
 harness::Series java_compound(const std::string& name, const TestMapParams& p, MakeMap make_map) {
   return harness::Series{
-      name, sim::Mode::kLock, [p, make_map](int cpus, harness::RunResult& out) {
+      name, sim::Mode::kLock,
+      [p, make_map](int cpus, std::uint64_t salt, harness::RunResult& out) {
         sim::Engine eng(make_cfg(sim::Mode::kLock, cpus));
         atomos::Runtime rt(eng);
         auto map = make_map();
@@ -38,8 +40,8 @@ harness::Series java_compound(const std::string& name, const TestMapParams& p, M
         atomos::Mutex mu;
         const int per_cpu = p.total_ops / cpus;
         for (int c = 0; c < cpus; ++c) {
-          eng.spawn([&, c] {
-            std::uint64_t s = p.seed + static_cast<std::uint64_t>(c) * 7919;
+          eng.spawn([&, c, salt] {
+            std::uint64_t s = p.seed + salt + static_cast<std::uint64_t>(c) * 7919;
             for (int i = 0; i < per_cpu; ++i) {
               atomos::Runtime::current().work(p.think_cycles / 2);
               {
@@ -61,15 +63,16 @@ template <class MakeMap>
 harness::Series atomos_compound(const std::string& name, const TestMapParams& p,
                                 MakeMap make_map) {
   return harness::Series{
-      name, sim::Mode::kTcc, [p, make_map](int cpus, harness::RunResult& out) {
+      name, sim::Mode::kTcc,
+      [p, make_map](int cpus, std::uint64_t salt, harness::RunResult& out) {
         sim::Engine eng(make_cfg(sim::Mode::kTcc, cpus));
         atomos::Runtime rt(eng);
         auto map = make_map();
         for (long k = 0; k < p.prepopulate; ++k) map->put(k * 2 % p.key_space, k);
         const int per_cpu = p.total_ops / cpus;
         for (int c = 0; c < cpus; ++c) {
-          eng.spawn([&, c] {
-            std::uint64_t s = p.seed + static_cast<std::uint64_t>(c) * 7919;
+          eng.spawn([&, c, salt] {
+            std::uint64_t s = p.seed + salt + static_cast<std::uint64_t>(c) * 7919;
             for (int i = 0; i < per_cpu; ++i) {
               const std::uint64_t body_seed = s;
               atomos::atomically([&] {
@@ -90,10 +93,12 @@ harness::Series atomos_compound(const std::string& name, const TestMapParams& p,
 
 }  // namespace bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
+  const harness::Cli cli = harness::Cli::parse(argc, argv, "fig3_testcompound");
   TestMapParams p;
   p.total_ops = 3200;
+  if (cli.ops > 0) p.total_ops = static_cast<int>(cli.ops);
 
   auto make_hash = [&p] {
     return std::make_unique<jstd::HashMap<long, long>>(
@@ -108,7 +113,6 @@ int main() {
   series.push_back(atomos_compound("Atomos HashMap", p, make_hash));
   series.push_back(atomos_compound("Atomos TransactionalMap", p, make_wrapped));
 
-  harness::run_figure("Figure 3: TestCompound (two composed ops + computation)",
-                      series, paper_cpu_counts(), "fig3_testcompound.csv");
-  return 0;
+  return harness::run_figure_main("Figure 3: TestCompound (two composed ops + computation)",
+                                  series, paper_cpu_counts(), "fig3_testcompound.csv", cli);
 }

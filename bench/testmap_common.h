@@ -49,11 +49,12 @@ void testmap_op(MapT& map, long key_space, std::uint64_t& s) {
 
 /// Fills in the stats fields of a RunResult from a finished simulation.
 inline void collect_stats(sim::Engine& eng, harness::RunResult& out) {
+  const sim::CpuStats s = eng.stats().summed();
   out.cycles = eng.elapsed_cycles();
-  out.violations = eng.stats().total(&sim::CpuStats::violations);
-  out.semantic = eng.stats().total(&sim::CpuStats::semantic_violations);
-  out.lost_cycles = eng.stats().total(&sim::CpuStats::lost_cycles);
-  out.commits = eng.stats().total(&sim::CpuStats::commits);
+  out.violations = s.violations;
+  out.semantic = s.semantic_violations;
+  out.lost_cycles = s.lost_cycles;
+  out.commits = s.commits;
 }
 
 inline sim::Config make_cfg(sim::Mode mode, int cpus) {
@@ -64,10 +65,13 @@ inline sim::Config make_cfg(sim::Mode mode, int cpus) {
 }
 
 /// "Java <Map>": lock-mode run, mutex held only around each operation.
+/// `salt` perturbs every worker's RNG seed for `--trials`; salt 0 is the
+/// canonical run.
 template <class MakeMap>
 harness::Series java_series(const std::string& name, const TestMapParams& p, MakeMap make_map) {
   return harness::Series{
-      name, sim::Mode::kLock, [p, make_map](int cpus, harness::RunResult& out) {
+      name, sim::Mode::kLock,
+      [p, make_map](int cpus, std::uint64_t salt, harness::RunResult& out) {
         sim::Engine eng(make_cfg(sim::Mode::kLock, cpus));
         atomos::Runtime rt(eng);
         auto map = make_map();
@@ -75,8 +79,8 @@ harness::Series java_series(const std::string& name, const TestMapParams& p, Mak
         atomos::Mutex mu;
         const int per_cpu = p.total_ops / cpus;
         for (int c = 0; c < cpus; ++c) {
-          eng.spawn([&, c] {
-            std::uint64_t s = p.seed + static_cast<std::uint64_t>(c) * 7919;
+          eng.spawn([&, c, salt] {
+            std::uint64_t s = p.seed + salt + static_cast<std::uint64_t>(c) * 7919;
             for (int i = 0; i < per_cpu; ++i) {
               atomos::Runtime::current().work(p.think_cycles / 2);
               {
@@ -96,15 +100,16 @@ harness::Series java_series(const std::string& name, const TestMapParams& p, Mak
 template <class MakeMap>
 harness::Series atomos_series(const std::string& name, const TestMapParams& p, MakeMap make_map) {
   return harness::Series{
-      name, sim::Mode::kTcc, [p, make_map](int cpus, harness::RunResult& out) {
+      name, sim::Mode::kTcc,
+      [p, make_map](int cpus, std::uint64_t salt, harness::RunResult& out) {
         sim::Engine eng(make_cfg(sim::Mode::kTcc, cpus));
         atomos::Runtime rt(eng);
         auto map = make_map();
         for (long k = 0; k < p.prepopulate; ++k) map->put(k * 2 % p.key_space, k);
         const int per_cpu = p.total_ops / cpus;
         for (int c = 0; c < cpus; ++c) {
-          eng.spawn([&, c] {
-            std::uint64_t s = p.seed + static_cast<std::uint64_t>(c) * 7919;
+          eng.spawn([&, c, salt] {
+            std::uint64_t s = p.seed + salt + static_cast<std::uint64_t>(c) * 7919;
             for (int i = 0; i < per_cpu; ++i) {
               std::uint64_t body_seed = s;  // retries replay the same op
               atomos::atomically([&] {

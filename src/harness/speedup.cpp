@@ -4,86 +4,17 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "harness/driver.h"
+
 namespace harness {
 
 std::vector<RunResult> run_figure(const std::string& figure_title,
                                   const std::vector<Series>& series,
                                   const std::vector<int>& cpu_counts,
                                   const std::string& csv_path) {
-  if (series.empty() || cpu_counts.empty())
-    throw std::invalid_argument("run_figure: nothing to run");
-
-  std::vector<RunResult> results;
-  double baseline_cycles = 0.0;
-
-  for (const Series& s : series) {
-    for (int cpus : cpu_counts) {
-      RunResult r;
-      r.series = s.name;
-      r.cpus = cpus;
-      s.run(cpus, r);
-      if (baseline_cycles == 0.0) {
-        // First series, first CPU count: the figure's baseline.
-        baseline_cycles = static_cast<double>(r.cycles);
-      }
-      r.speedup = baseline_cycles / static_cast<double>(r.cycles);
-      results.push_back(r);
-      std::fprintf(stderr, "  [%s] cpus=%d done (%llu cycles)\n", s.name.c_str(), cpus,
-                   static_cast<unsigned long long>(r.cycles));
-    }
-  }
-
-  // --- paper-style speedup table ---
-  std::printf("\n=== %s ===\n", figure_title.c_str());
-  std::printf("%-28s", "Series \\ CPUs");
-  for (int c : cpu_counts) std::printf("%10d", c);
-  std::printf("\n");
-  for (const Series& s : series) {
-    std::printf("%-28s", s.name.c_str());
-    for (int c : cpu_counts) {
-      for (const RunResult& r : results) {
-        if (r.series == s.name && r.cpus == c) {
-          std::printf("%10.2f", r.speedup);
-          break;
-        }
-      }
-    }
-    std::printf("\n");
-  }
-
-  // --- stats appendix (the TAPE-flavoured analysis view) ---
-  std::printf("--- violations / semantic / lost-cycle%% ---\n");
-  for (const Series& s : series) {
-    std::printf("%-28s", s.name.c_str());
-    for (int c : cpu_counts) {
-      for (const RunResult& r : results) {
-        if (r.series == s.name && r.cpus == c) {
-          const double lost_pct =
-              r.cycles == 0
-                  ? 0.0
-                  : 100.0 * static_cast<double>(r.lost_cycles) /
-                        (static_cast<double>(r.cycles) * c);
-          std::printf("  %4llu/%3llu/%2.0f%%",
-                      static_cast<unsigned long long>(r.violations),
-                      static_cast<unsigned long long>(r.semantic), lost_pct);
-          break;
-        }
-      }
-    }
-    std::printf("\n");
-  }
-  std::fflush(stdout);
-
-  if (!csv_path.empty()) {
-    std::ofstream csv(csv_path);
-    csv << "series,cpus,cycles,speedup,violations,semantic,lost_cycles,commits\n";
-    for (const RunResult& r : results) {
-      csv << r.series << ',' << r.cpus << ',' << r.cycles << ',' << r.speedup << ','
-          << r.violations << ',' << r.semantic << ',' << r.lost_cycles << ','
-          << r.commits << '\n';
-    }
-  }
-  return results;
+  DriverOptions opt;  // jobs=1, trials=1, no timeout: the plain serial sweep
+  FigureResult fr = run_figure_driver(figure_title, series, cpu_counts, csv_path, opt);
+  return std::move(fr.results);
 }
 
 namespace {

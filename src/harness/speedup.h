@@ -23,6 +23,10 @@ struct RunResult {
   std::uint64_t lost_cycles = 0;     ///< cycles discarded by rollbacks
   std::uint64_t commits = 0;
   double speedup = 0.0;              ///< vs the figure's 1-CPU baseline
+
+  /// Field-for-field equality — the harness determinism tests assert that a
+  /// serial sweep and a `--jobs N` sweep produce identical vectors.
+  friend bool operator==(const RunResult&, const RunResult&) = default;
 };
 
 /// A named series: given a Config (mode/cpu count pre-filled), run the
@@ -32,15 +36,18 @@ struct Series {
   std::string name;
   sim::Mode mode;
   /// Runs the workload on `cpus` virtual CPUs; returns simulated cycles and
-  /// fills the stats fields of the result.
-  std::function<void(int cpus, RunResult& out)> run;
+  /// fills the stats fields of the result.  `seed_salt` perturbs the
+  /// workload's RNG seeds for `--trials` reruns; salt 0 (trial 0) MUST
+  /// reproduce the canonical unperturbed run bit-for-bit.
+  std::function<void(int cpus, std::uint64_t seed_salt, RunResult& out)> run;
 };
 
-/// Runs every series at each CPU count; the FIRST series' 1-CPU run is the
-/// speedup baseline (paper: "the single-processor Java version is used as
-/// the baseline").  Prints the figure as rows of speedups plus a stats
-/// appendix, and returns all results (also emitted as CSV when `csv_path`
-/// is non-empty).
+/// Runs every series at each CPU count on the calling thread; the FIRST
+/// series' 1-CPU run is the speedup baseline (paper: "the single-processor
+/// Java version is used as the baseline").  Prints the figure as rows of
+/// speedups plus a stats appendix, and returns all results (also emitted as
+/// CSV when `csv_path` is non-empty).  This is the serial convenience
+/// wrapper over the host-parallel driver in harness/driver.h.
 std::vector<RunResult> run_figure(const std::string& figure_title,
                                   const std::vector<Series>& series,
                                   const std::vector<int>& cpu_counts,

@@ -29,15 +29,23 @@ Engine::~Engine() {
 }
 
 void Engine::kill_all_suspended() {
+  // Keep resuming until every fiber has unwound: a fiber may yield again
+  // while unwinding (e.g. an abort path charging backoff cycles crosses the
+  // run limit), in which case one resume is not enough.
   poisoned_ = true;
-  for (Cpu& c : cpus_) {
-    if (c.fiber_ != nullptr && !c.fiber_->finished()) {
-      current_cpu_ = c.id_;
-      c.fiber_->resume();  // wakes in block()/yield_now(), throws FiberKilled
-      current_cpu_ = -1;
-      c.state_ = Cpu::State::kDone;
+  bool any_live;
+  do {
+    any_live = false;
+    for (Cpu& c : cpus_) {
+      if (c.fiber_ != nullptr && !c.fiber_->finished()) {
+        any_live = true;
+        current_cpu_ = c.id_;
+        c.fiber_->resume();  // wakes in block()/yield_now(), throws FiberKilled
+        current_cpu_ = -1;
+        if (c.fiber_->finished()) c.state_ = Cpu::State::kDone;
+      }
     }
-  }
+  } while (any_live);
   poisoned_ = false;
 }
 
@@ -63,7 +71,16 @@ void Engine::run() {
   }
 
   constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+  std::uint32_t deadline_poll = 0;
   for (;;) {
+    // Host-deadline poll, amortized: one clock read every 512 fiber switches.
+    if (host_deadline_armed_ && (++deadline_poll & 511u) == 0 &&
+        std::chrono::steady_clock::now() > host_deadline_) {
+      kill_all_suspended();
+      tls_engine_ = prev;
+      running_ = false;
+      throw SimTimeout("Engine: host wall-clock deadline exceeded");
+    }
     // One pass finds both the min-clock runnable CPU (runs next) and the
     // second-smallest runnable clock (its run limit): the fiber may run
     // until it passes that snapshot + slack.  Other clocks are frozen while
@@ -100,6 +117,14 @@ void Engine::run() {
     }
     Cpu& c = cpus_[static_cast<std::size_t>(next)];
     run_limit_ = (second == kNever) ? second : second + cfg_.slack;
+    // With a host deadline armed, never hand a fiber an unbounded budget: a
+    // sole runnable fiber spinning in tick() would otherwise never return
+    // here, where the deadline is polled.  Capping the limit only inserts
+    // extra yields — simulated clocks are unaffected.
+    if (host_deadline_armed_) {
+      const std::uint64_t quantum = c.clock_ + 65536;
+      if (quantum < run_limit_) run_limit_ = quantum;
+    }
     current_cpu_ = next;
     c.fiber_->resume();
     current_cpu_ = -1;

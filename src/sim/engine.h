@@ -9,9 +9,11 @@
 // deterministic given (Config, seed).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/config.h"
@@ -20,6 +22,15 @@
 #include "sim/stats.h"
 
 namespace sim {
+
+/// Thrown out of Engine::run() when the host wall-clock deadline armed via
+/// Engine::set_host_deadline expires.  All worker fibers have been unwound
+/// (their RAII state released) before this escapes, so the caller may simply
+/// destroy the Engine and retry with a fresh one — the harness driver uses
+/// this for its per-point timeout instead of abandoning host threads.
+struct SimTimeout : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 /// One virtual CPU: clock, scheduling state, worker fiber.
 class Cpu {
@@ -57,8 +68,19 @@ class Engine {
   /// mirroring the paper's thread-per-CPU experiments).
   void spawn(std::function<void()> work);
 
-  /// Runs all workers to completion.  Throws on virtual deadlock.
+  /// Runs all workers to completion.  Throws on virtual deadlock, or
+  /// SimTimeout if this thread's host deadline (set_host_deadline) expires.
   void run();
+
+  /// Arms a host wall-clock deadline for simulations run()ing on the calling
+  /// host thread.  When it expires, run() unwinds every worker fiber and
+  /// throws SimTimeout.  The deadline is thread-local (each harness worker
+  /// thread guards its own point) and sticky across Engines until cleared.
+  static void set_host_deadline(std::chrono::steady_clock::time_point t) {
+    host_deadline_ = t;
+    host_deadline_armed_ = true;
+  }
+  static void clear_host_deadline() { host_deadline_armed_ = false; }
 
   /// Simulated duration: max CPU clock at completion.
   std::uint64_t elapsed_cycles() const;
@@ -123,6 +145,8 @@ class Engine {
   [[noreturn]] static void throw_no_engine();
 
   inline static thread_local Engine* tls_engine_ = nullptr;
+  inline static thread_local bool host_deadline_armed_ = false;
+  inline static thread_local std::chrono::steady_clock::time_point host_deadline_{};
 
   Config cfg_;
   Stats stats_;

@@ -40,6 +40,25 @@ class Stats {
     return sum;
   }
 
+  /// Every counter summed over all CPUs in one pass (the harness driver
+  /// collects a whole RunResult from this instead of one total() per field).
+  CpuStats summed() const {
+    CpuStats s;
+    for (const auto& c : per_cpu_) {
+      s.loads += c.loads;
+      s.stores += c.stores;
+      s.l1_misses += c.l1_misses;
+      s.commits += c.commits;
+      s.open_commits += c.open_commits;
+      s.violations += c.violations;
+      s.nested_violations += c.nested_violations;
+      s.semantic_violations += c.semantic_violations;
+      s.lost_cycles += c.lost_cycles;
+      s.lock_spin_cycles += c.lock_spin_cycles;
+    }
+    return s;
+  }
+
   /// Free-form named counters (TAPE-style profiling: e.g. the per-object
   /// violation sites that identified District.nextOrder in the paper).
   void bump(const std::string& name, std::uint64_t by = 1) { named_[name] += by; }

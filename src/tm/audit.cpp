@@ -219,6 +219,17 @@ void naked_store(std::uintptr_t addr) {
              std::to_string(it->second) + " bytes) bypasses commit arbitration");
 }
 
+void late_profile_label(std::uintptr_t va, const char* name) {
+  report(Check::kLateProfileLabel,
+         "profile label '" + std::string(name != nullptr ? name : "<null>") +
+             "' attached to simulated address " +
+             ptr_str(reinterpret_cast<const void*>(va)) +
+             " from inside a running simulation: the label map is host state "
+             "(not rolled back on abort) and only covers the rest of the run; "
+             "label objects during setup (see the ordering contract in "
+             "tm/profile.h)");
+}
+
 }  // namespace atomos::audit
 
 #endif  // TXCC_CHECKED

@@ -44,6 +44,7 @@ enum class Check {
   kUnpairedHandler,
   kSetCorruption,
   kNakedStore,
+  kLateProfileLabel,
   kChecks  // count sentinel
 };
 
@@ -78,6 +79,12 @@ void check_reader_dir(const detail::Txn& t, const ReaderDir& dir);
 void note_shared(std::uintptr_t addr, std::uint32_t size);
 void forget_shared(std::uintptr_t addr);
 void naked_store(std::uintptr_t addr);
+/// A TAPE profile label attached from a worker fiber while profiling is
+/// already enabled and the simulation is already running: the label map is
+/// host state (not rolled back on abort) and covers only the rest of the
+/// run.  Labels belong in object setup — see the ordering contract in
+/// tm/profile.h.
+void late_profile_label(std::uintptr_t va, const char* name);
 
 #else  // !TXCC_CHECKED — every hook is a free empty inline
 
@@ -100,6 +107,7 @@ inline void check_reader_dir(const detail::Txn&, const ReaderDir&) {}
 inline void note_shared(std::uintptr_t, std::uint32_t) {}
 inline void forget_shared(std::uintptr_t) {}
 inline void naked_store(std::uintptr_t) {}
+inline void late_profile_label(std::uintptr_t, const char*) {}
 
 #endif
 

@@ -6,9 +6,29 @@
 // violation a committer inflicts is attributed to the labelled line that
 // caused it, producing the "which object is the source of lost work" report
 // the paper's authors used to find District.nextOrder and friends.
+//
+// One Profile per atomos::Runtime (accessed as Runtime::profile()), so
+// concurrent simulations on different host threads — the harness driver runs
+// one figure point per worker thread — keep fully independent label maps.
+// There is deliberately no process-global instance: profiling state was the
+// last global mutable singleton in the TM layer, and de-globalizing it is
+// what makes host-parallel sweeps bit-identical to serial ones.
+//
+// ORDERING CONTRACT (labels are recorded only while profiling is enabled):
+//   1. construct the sim::Engine, then the atomos::Runtime;
+//   2. call Runtime::profile().enable(true) BEFORE constructing the labelled
+//      objects — a note_range() issued while profiling is disabled silently
+//      records nothing, so enabling profiling only after object setup yields
+//      an empty label map and every violation attributes to "<unnamed>";
+//   3. construct the labelled Shared cells (object setup);
+//   4. Engine::run().
+// Labelling from inside a running simulation (a worker fiber constructing a
+// named Shared cell while profiling is enabled) is flagged by the
+// TXCC_CHECKED auditor (late-profile-label): the label map is host-side
+// state that is not rolled back if the labelling transaction aborts, and a
+// label attached mid-run attributes only the remainder of the run.
 #pragma once
 
-#include <string>
 #include <unordered_map>
 
 #include "sim/memsys.h"
@@ -17,15 +37,16 @@ namespace atomos {
 
 class Profile {
  public:
-  static Profile& instance() {
-    static Profile p;
-    return p;
-  }
+  Profile() = default;
+  Profile(const Profile&) = delete;
+  Profile& operator=(const Profile&) = delete;
 
   void enable(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
-  /// Labels the lines covering [addr, addr+len) — call from object setup.
+  /// Labels the lines covering [addr, addr+len) — call from object setup,
+  /// after enable(true) and before Engine::run() (see the ordering contract
+  /// above; when profiling is disabled this records nothing).
   void note_range(std::uintptr_t addr, std::size_t len, const char* name) {
     if (!enabled_) return;
     const sim::LineAddr first = sim::line_of(addr);

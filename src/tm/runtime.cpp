@@ -4,7 +4,6 @@
 #include <cassert>
 
 #include "tm/audit.h"
-#include "tm/profile.h"
 
 namespace atomos {
 
@@ -271,7 +270,7 @@ void Runtime::flag_readers(sim::LineAddr line, int committer) {
   std::uint32_t mask = reader_dir_.mask(line);
   mask &= ~(1u << committer);
   if (mask == 0) return;
-  const bool profiling = Profile::instance().enabled();
+  const bool profiling = profile_.enabled();
   for (int c = 0; mask != 0; ++c, mask >>= 1) {
     if ((mask & 1u) == 0) continue;
     for (Txn* v = ctx(c).cur; v != nullptr; v = v->parent) {
@@ -282,7 +281,7 @@ void Runtime::flag_readers(sim::LineAddr line, int committer) {
       const int frame = *f;
       if (v->kill_frame < 0 || frame < v->kill_frame) v->kill_frame = frame;
       if (profiling) {
-        const char* name = Profile::instance().find(line);
+        const char* name = profile_.find(line);
         eng_.stats().bump(std::string("violations@") + (name != nullptr ? name : "<unnamed>"));
       }
     }

@@ -36,6 +36,7 @@
 #include "sim/engine.h"
 #include "sim/flat_map.h"
 #include "tm/contention.h"
+#include "tm/profile.h"
 #include "tm/reader_dir.h"
 
 namespace atomos {
@@ -216,6 +217,13 @@ class Runtime {
   sim::Engine& engine() { return eng_; }
   sim::Mode mode() const { return eng_.config().mode; }
 
+  /// This runtime's TAPE-style conflict profile (tm/profile.h).  Per-Runtime
+  /// (not process-global) so concurrent simulations on different host
+  /// threads never share profiling state; see profile.h for the enable /
+  /// label / run ordering contract.
+  Profile& profile() { return profile_; }
+  const Profile& profile() const { return profile_; }
+
   // ---- transactional region API ----
 
   /// Runs `fn` as a transaction: top-level if none is active on this CPU,
@@ -380,6 +388,7 @@ class Runtime {
   sim::Engine& eng_;
   std::unique_ptr<ContentionManager> cm_;
   std::vector<CpuCtx> ctx_;
+  Profile profile_;
 
   // Line -> reader-CPU bitmask, maintained at read-log append/rollback time,
   // so commits flag conflicting readers without scanning every CPU's stack.

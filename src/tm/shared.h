@@ -43,11 +43,19 @@ class Shared {
     audit::note_shared(reinterpret_cast<std::uintptr_t>(&v_), sizeof(T));
   }
 
-  /// `name` (optional) labels this cell's cache line for TAPE-style
-  /// conflict profiling; pass a string with static storage duration.
+  /// `name` (optional) labels this cell's cache line for TAPE-style conflict
+  /// profiling in the active Runtime's profile; pass a string with static
+  /// storage duration.  The label is recorded only when a Runtime exists and
+  /// its profile is already enabled — enable profiling before constructing
+  /// labelled cells (ordering contract in tm/profile.h).
   explicit Shared(T v, const char* name = nullptr) : v_(v), va_(sim::va_alloc(sizeof(T))) {
     if (name != nullptr) {
-      Profile::instance().note_range(va_, sizeof(T), name);
+      if (Runtime* rt = Runtime::current_or_null()) {
+        if (rt->profile().enabled() && sim::Engine::in_worker()) {
+          audit::late_profile_label(va_, name);
+        }
+        rt->profile().note_range(va_, sizeof(T), name);
+      }
     }
     audit::note_shared(reinterpret_cast<std::uintptr_t>(&v_), sizeof(T));
   }

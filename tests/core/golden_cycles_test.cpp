@@ -45,7 +45,7 @@ void check_goldens(const char* tag, const std::vector<harness::Series>& series,
       harness::RunResult r;
       r.series = s.name;
       r.cpus = cpus;
-      s.run(cpus, r);
+      s.run(cpus, /*seed_salt=*/0, r);
       if (print) {
         std::printf("    {\"%s\", %d, %lluULL},  // %s\n", s.name.c_str(), cpus,
                     static_cast<unsigned long long>(r.cycles), tag);

@@ -210,5 +210,28 @@ TEST_F(CheckedRuntimeTest, TransactionalMapWorkloadIsClean) {
   EXPECT_EQ(audit::total(), 0u) << (audit::reports().empty() ? "" : audit::reports()[0]);
 }
 
+// The Profile ordering contract (tm/profile.h): labels belong in setup,
+// after Runtime::profile().enable(true) and before Engine::run().  A label
+// attached from inside the running simulation is host state that a violated
+// transaction cannot roll back, so the auditor flags it; the same label
+// attached during setup is silent.
+TEST_F(CheckedRuntimeTest, FlagsProfileLabelAttachedMidSimulation) {
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  rt.profile().enable(true);
+  Shared<long> setup_cell(1, "setup-cell");  // contract order: silent
+  EXPECT_EQ(audit::count(audit::Check::kLateProfileLabel), 0u);
+  eng.spawn([&] {
+    atomically([&] {
+      Shared<long> mid_run_cell(5, "mid-run-cell");  // inside the simulation
+      (void)mid_run_cell.get();
+    });
+  });
+  eng.run();
+  EXPECT_EQ(audit::count(audit::Check::kLateProfileLabel), 1u);
+  ASSERT_FALSE(audit::reports().empty());
+  EXPECT_NE(audit::reports().back().find("mid-run-cell"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace atomos
