@@ -19,6 +19,7 @@
 #include "harness/speedup.h"
 #include "tm/runtime.h"
 #include "tm/shared.h"
+#include "trace/tracer.h"
 
 namespace {
 
@@ -208,6 +209,18 @@ harness::BenchResult bench_contended(int txns_per_cpu) {
   return r;
 }
 
+/// Re-runs a scenario with an in-memory tracer attached (empty path: events
+/// are recorded and audited but never written).  The traced twin's
+/// sim_cycles must equal the plain run's — emission is host-side only — and
+/// its wall-clock measures the cost of the `if (tracer)` hooks taken.
+harness::BenchResult traced_twin(harness::BenchResult (*scenario)(int), int txns_per_cpu) {
+  trace::set_request("");
+  harness::BenchResult r = scenario(txns_per_cpu);
+  trace::clear_request();
+  r.name += "_traced";
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,6 +233,11 @@ int main(int argc, char** argv) {
   results.push_back(bench_nested_frames(10000));
   results.push_back(bench_open_nested(10000));
   results.push_back(bench_contended(4000));
+  // Trace-on twins: same work with an in-memory tracer attached, so the
+  // JSON records what turning tracing on costs (and witnesses that it
+  // leaves simulated cycles untouched).
+  results.push_back(traced_twin(bench_rw_commit, 20000));
+  results.push_back(traced_twin(bench_contended, 4000));
 
   std::printf("%-16s %12s %10s %14s %14s\n", "scenario", "txns", "wall(s)", "txns/sec",
               "sim_cycles");

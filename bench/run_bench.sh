@@ -27,6 +27,9 @@ fi
 "$BUILD_DIR/bench/tbl_op_overhead" \
   --benchmark_out=BENCH_op_overhead.json --benchmark_out_format=json
 
+# hotpath records its trace-on twins itself ("<name>_traced" scenarios with
+# an in-memory tracer attached), so the JSON carries the tracing overhead and
+# the sim-cycle transparency witness; tools/check_hotpath.py gates both.
 "$BUILD_DIR/bench/hotpath" BENCH_hotpath.json
 
 # --- figure sweeps + ablations through the parallel driver ---

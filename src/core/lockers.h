@@ -42,6 +42,7 @@ class LockerSet {
     if (!contains(owner)) {
       owners_.push_back(owner);
       atomos::audit::lock_acquired(owner, this);
+      if (auto* rt = atomos::Runtime::current_or_null()) rt->trace_sem_acquire(trace_id());
     }
   }
 
@@ -51,8 +52,15 @@ class LockerSet {
     if (tail != owners_.end()) {
       owners_.erase(tail, owners_.end());
       atomos::audit::lock_released(owner, this);
+      if (auto* rt = atomos::Runtime::current_or_null()) rt->trace_sem_release(trace_id());
     }
   }
+
+  /// Trace identity.  Per-key LockerSets inside a KeyLockTable report the
+  /// enclosing table's address so all keys aggregate under one named trace
+  /// site; the audit ledger keeps per-set identity regardless.
+  void set_trace_id(const void* id) { trace_id_ = id; }
+  const void* trace_id() const { return trace_id_ != nullptr ? trace_id_ : this; }
 
   bool contains(const atomos::TxnId& owner) const {
     return std::find(owners_.begin(), owners_.end(), owner) != owners_.end();
@@ -72,6 +80,7 @@ class LockerSet {
         continue;
       }
       if (atomos::Runtime::current().violate(*it)) {
+        if (auto* rt = atomos::Runtime::current_or_null()) rt->trace_sem_violation(trace_id(), it->cpu);
         ++doomed;
         ++it;
       } else {
@@ -84,13 +93,18 @@ class LockerSet {
 
  private:
   std::vector<atomos::TxnId> owners_;  // small in practice; linear ops
+  const void* trace_id_ = nullptr;     // null => this set is its own site
 };
 
 /// key -> LockerSet table (the paper's key2lockers).
 template <class K, class Hash = std::hash<K>, class Eq = std::equal_to<K>>
 class KeyLockTable {
  public:
-  void lock(const K& key, const atomos::TxnId& owner) { table_[key].add(owner); }
+  void lock(const K& key, const atomos::TxnId& owner) {
+    LockerSet& s = table_[key];
+    s.set_trace_id(this);  // aggregate all keys under the table's trace site
+    s.add(owner);
+  }
 
   void unlock(const K& key, const atomos::TxnId& owner) {
     auto it = table_.find(key);
@@ -146,6 +160,7 @@ class RangeLockTable {
               const atomos::TxnId& owner, bool to_closed = false) {
     ranges_.push_back(Range{from, to, to_closed, owner});
     atomos::audit::lock_acquired(owner, this);
+    if (auto* rt = atomos::Runtime::current_or_null()) rt->trace_sem_acquire(this);
     return std::prev(ranges_.end());
   }
 
@@ -159,6 +174,7 @@ class RangeLockTable {
   void unlock_all(const atomos::TxnId& owner) {
     if (ranges_.remove_if([&](const Range& r) { return r.owner == owner; }) > 0) {
       atomos::audit::locks_released_all(owner, this);
+      if (auto* rt = atomos::Runtime::current_or_null()) rt->trace_sem_release(this);
     }
   }
 
@@ -173,6 +189,7 @@ class RangeLockTable {
         continue;
       }
       if (atomos::Runtime::current().violate(it->owner)) {
+        if (auto* rt = atomos::Runtime::current_or_null()) rt->trace_sem_violation(this, it->owner.cpu);
         ++doomed;
         ++it;
       } else {

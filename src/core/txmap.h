@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cassert>
+#include <string>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -57,9 +58,14 @@ class TransactionalMap : public Iface {
  public:
   /// Takes ownership of the wrapped implementation.  The wrapper offers the
   /// same interface, so it is a drop-in replacement for `inner`.
+  /// `trace_name` names this instance's semantic lock tables in txtrace
+  /// output (e.g. "historyTable"); defaults to the class name.
   explicit TransactionalMap(std::unique_ptr<jstd::Map<K, V>> inner,
-                            Detection detection = Detection::kOptimistic)
-      : inner_(std::move(inner)), detection_(detection) {}
+                            Detection detection = Detection::kOptimistic,
+                            const char* trace_name = nullptr)
+      : inner_(std::move(inner)), detection_(detection) {
+    register_trace_names(trace_name != nullptr ? trace_name : "TransactionalMap");
+  }
 
   // ---- jstd::Map interface (Table 1/2 semantics) ----
 
@@ -461,6 +467,16 @@ class TransactionalMap : public Iface {
     std::optional<std::pair<K, V>> next_;
     bool exhaust_locked_ = false;
   };
+
+  /// Names this instance's lock tables for txtrace (setup-time; no-op when
+  /// no tracer is attached).  Table names follow the paper's Table 3 fields.
+  void register_trace_names(const std::string& n) {
+    if (auto* rt = atomos::Runtime::current_or_null()) {
+      rt->trace_name_table(&key_lockers_, (n + ".key2lockers").c_str());
+      rt->trace_name_table(&size_lockers_, (n + ".sizeLockers").c_str());
+      rt->trace_name_table(&empty_lockers_, (n + ".emptyLockers").c_str());
+    }
+  }
 
   std::unique_ptr<jstd::Map<K, V>> inner_;
   Detection detection_;

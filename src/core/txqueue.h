@@ -23,6 +23,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/lockers.h"
@@ -34,8 +35,15 @@ namespace tcc {
 template <class T>
 class TransactionalQueue final : public jstd::Channel<T> {
  public:
-  explicit TransactionalQueue(std::unique_ptr<jstd::Queue<T>> inner)
-      : inner_(std::move(inner)) {}
+  explicit TransactionalQueue(std::unique_ptr<jstd::Queue<T>> inner,
+                              const char* trace_name = nullptr)
+      : inner_(std::move(inner)) {
+    if (auto* rt = atomos::Runtime::current_or_null()) {
+      const std::string n =
+          trace_name != nullptr ? trace_name : "TransactionalQueue";
+      rt->trace_name_table(&empty_lockers_, (n + ".emptyLockers").c_str());
+    }
+  }
 
   /// Enqueues `item` when the surrounding transaction commits (buffered in
   /// the addBuffer until then; visible to this transaction's own polls).

@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/txmap.h"
@@ -37,10 +38,21 @@ class TransactionalSortedMap final
  public:
   explicit TransactionalSortedMap(std::unique_ptr<jstd::SortedMap<K, V>> inner,
                                   Detection detection = Detection::kOptimistic,
-                                  Compare cmp = Compare())
-      : Base(std::move(inner), detection), cmp_(cmp), range_lockers_(cmp) {
+                                  Compare cmp = Compare(),
+                                  const char* trace_name = nullptr)
+      : Base(std::move(inner), detection,
+             trace_name != nullptr ? trace_name : "TransactionalSortedMap"),
+        cmp_(cmp),
+        range_lockers_(cmp) {
     // inner_ was constructed from a SortedMap, so the downcast is exact.
     sorted_ = static_cast<jstd::SortedMap<K, V>*>(this->inner_.get());
+    const std::string n =
+        trace_name != nullptr ? trace_name : "TransactionalSortedMap";
+    if (auto* rt = atomos::Runtime::current_or_null()) {
+      rt->trace_name_table(&range_lockers_, (n + ".rangeLockers").c_str());
+      rt->trace_name_table(&first_lockers_, (n + ".firstLockers").c_str());
+      rt->trace_name_table(&last_lockers_, (n + ".lastLockers").c_str());
+    }
   }
 
   // ---- SortedMap interface (Table 5 read locks) ----

@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "sim/engine.h"
+#include "trace/tracer.h"
 
 namespace harness {
 namespace {
@@ -174,6 +175,15 @@ void write_figure_csv(const std::string& path, const FigureResult& fr, int trial
 
 }  // namespace
 
+std::string trace_file_path(const std::string& prefix, const std::string& series,
+                            int cpus) {
+  std::string name = series;
+  for (char& ch : name) {
+    if (std::isalnum(static_cast<unsigned char>(ch)) == 0) ch = '_';
+  }
+  return prefix + name + "_cpus" + std::to_string(cpus) + ".trace";
+}
+
 FigureResult run_figure_driver(const std::string& figure_title,
                                const std::vector<Series>& series,
                                const std::vector<int>& cpu_counts,
@@ -218,15 +228,28 @@ FigureResult run_figure_driver(const std::string& figure_title,
         Slot& sl = slots[i];
         sl.r.series = series[pt.s].name;
         sl.r.cpus = cpu_counts[pt.c];
+        // Only the canonical (trial-0) run of a point is traced: perturbed
+        // trials would race to the same file name, and the canonical run is
+        // the one every table/CSV number comes from.
+        const bool traced = !opt.trace_path.empty() && pt.trial == 0;
         sl.a = run_guarded(
             [&] {
               RunResult r;  // fresh per attempt: a timed-out try leaves no residue
               r.series = sl.r.series;
               r.cpus = sl.r.cpus;
+              if (traced) {
+                // Re-arm per attempt: the Runtime the workload builds consumes
+                // the request, and a timed-out first try must re-set it.
+                trace::set_request(
+                    trace_file_path(opt.trace_path, r.series, r.cpus),
+                    opt.trace_cap);
+              }
               series[pt.s].run(r.cpus, salt_for_trial(pt.trial), r);
+              trace::clear_request();
               sl.r = std::move(r);
             },
             opt.timeout_sec);
+        if (traced) trace::clear_request();  // timed-out/poisoned leftovers
       },
       [&](std::size_t i) {
         const Point& pt = points[i];
@@ -365,6 +388,7 @@ namespace {
   std::fprintf(
       out,
       "usage: %s [--jobs N] [--trials N] [--ops N] [--csv PATH] [--only F] [--timeout S]\n"
+      "          [--trace PREFIX] [--trace-cap N]\n"
       "  --jobs N, -j N  shard sweep points across N host worker threads\n"
       "                  (default 1); the table, CSV and simulated cycles are\n"
       "                  bit-identical for every N\n"
@@ -378,6 +402,12 @@ namespace {
       "  --timeout S     per-point wall-clock timeout in seconds (default 120,\n"
       "                  0 disables); a timed-out point is retried once, then\n"
       "                  reported as POISONED instead of hanging the sweep\n"
+      "  --trace PREFIX  write a deterministic txtrace event file per sweep\n"
+      "                  point (trial 0) to PREFIX<series>_cpus<N>.trace;\n"
+      "                  inspect with tools/txtrace.  Traced runs spend extra\n"
+      "                  host time but simulated cycles are unchanged\n"
+      "  --trace-cap N   per-CPU trace buffer capacity in events (default 65536;\n"
+      "                  overflow drops newest events, reported by txtrace)\n"
       "  --help, -h      this message\n",
       bench);
   std::exit(code);
@@ -431,6 +461,11 @@ Cli Cli::parse(int argc, char** argv, const char* bench, double default_timeout_
       cli.opts.only = value("--only");
     } else if (a == "--timeout") {
       cli.opts.timeout_sec = parse_seconds(bench, "--timeout", value("--timeout"));
+    } else if (a == "--trace") {
+      cli.opts.trace_path = value("--trace");
+    } else if (a == "--trace-cap") {
+      cli.opts.trace_cap = static_cast<std::size_t>(
+          parse_long(bench, "--trace-cap", value("--trace-cap"), 1));
     } else {
       std::fprintf(stderr, "%s: unknown flag '%s'\n", bench, a.c_str());
       usage(bench, 2);

@@ -41,7 +41,17 @@ struct DriverOptions {
   std::string only;         ///< "" = all; series-name substring, or a CPU
                             ///< list like "cpus=1,8" / "1,8"
   std::string csv_path;     ///< overrides the figure's default CSV path
+  std::string trace_path;   ///< "" = no tracing; else a file prefix — trial 0
+                            ///< of every point writes
+                            ///< `<prefix><series>_cpus<N>.trace`
+  std::size_t trace_cap = 0; ///< per-CPU trace buffer capacity; 0 = default
 };
+
+/// The trace file a traced sweep writes for one (series, cpus) point:
+/// `<prefix><series>_cpus<N>.trace`, with non-alphanumeric series characters
+/// mapped to '_' so every series name is a portable filename.
+std::string trace_file_path(const std::string& prefix, const std::string& series,
+                            int cpus);
 
 /// Cross-trial cycle statistics for one (series, cpus) point
 /// (`--trials N`; trial 0 is the canonical run reported in RunResult).

@@ -23,26 +23,37 @@ class Guard {
   bool use_;
 };
 
+// The table factories name each instance's contended fields and semantic
+// lock tables so TAPE profiles and txtrace conflict reports attribute fig4
+// conflicts to named SPECjbb internals rather than generic class labels.
 std::unique_ptr<jstd::SortedMap<long, Order*>> make_order_table(Flavor f) {
-  auto inner = std::make_unique<jstd::TreeMap<long, Order*>>();
+  auto inner = std::make_unique<jstd::TreeMap<long, Order*>>(
+      std::less<long>(), "orderTable.size", "orderTable.root");
   if (f == Flavor::kAtomosTransactional) {
-    return std::make_unique<tcc::TransactionalSortedMap<long, Order*>>(std::move(inner));
+    return std::make_unique<tcc::TransactionalSortedMap<long, Order*>>(
+        std::move(inner), tcc::Detection::kOptimistic, std::less<long>(),
+        "orderTable");
   }
   return inner;
 }
 
 std::unique_ptr<jstd::SortedMap<long, long>> make_new_order_table(Flavor f) {
-  auto inner = std::make_unique<jstd::TreeMap<long, long>>();
+  auto inner = std::make_unique<jstd::TreeMap<long, long>>(
+      std::less<long>(), "newOrderTable.size", "newOrderTable.root");
   if (f == Flavor::kAtomosTransactional) {
-    return std::make_unique<tcc::TransactionalSortedMap<long, long>>(std::move(inner));
+    return std::make_unique<tcc::TransactionalSortedMap<long, long>>(
+        std::move(inner), tcc::Detection::kOptimistic, std::less<long>(),
+        "newOrderTable");
   }
   return inner;
 }
 
 std::unique_ptr<jstd::Map<long, History*>> make_history_table(Flavor f) {
-  auto inner = std::make_unique<jstd::HashMap<long, History*>>(4096);
+  auto inner = std::make_unique<jstd::HashMap<long, History*>>(
+      4096, 0.75F, "historyTable.size");
   if (f == Flavor::kAtomosTransactional) {
-    return std::make_unique<tcc::TransactionalMap<long, History*>>(std::move(inner));
+    return std::make_unique<tcc::TransactionalMap<long, History*>>(
+        std::move(inner), tcc::Detection::kOptimistic, "historyTable");
   }
   return inner;
 }

@@ -25,9 +25,12 @@ class HashMap final : public Map<K, V> {
  public:
   /// `initial_buckets` should exceed the expected population / load factor
   /// when resize-under-transaction is not part of the experiment.
-  explicit HashMap(std::size_t initial_buckets = 16, float load_factor = 0.75F)
+  /// `size_label` names the contended size field in TAPE profiles and
+  /// txtrace conflict reports (e.g. "historyTable.size" for the fig4 map).
+  explicit HashMap(std::size_t initial_buckets = 16, float load_factor = 0.75F,
+                   const char* size_label = "HashMap.size")
       : load_factor_(load_factor),
-        size_(0, "HashMap.size"),
+        size_(0, size_label),
         table_(new Table(round_up_pow2(initial_buckets))) {}
 
   ~HashMap() override {

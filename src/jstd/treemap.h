@@ -22,8 +22,13 @@ namespace jstd {
 template <class K, class V, class Compare = std::less<K>>
 class TreeMap final : public SortedMap<K, V> {
  public:
-  explicit TreeMap(Compare cmp = Compare())
-      : cmp_(cmp), size_(0, "TreeMap.size"), root_(nullptr, "TreeMap.root") {}
+  /// `size_label`/`root_label` name the tree's contended fields in TAPE
+  /// profiles and txtrace conflict reports (e.g. "orderTable.size").
+  explicit TreeMap(Compare cmp = Compare(),
+                   const char* size_label = "TreeMap.size",
+                   const char* root_label = "TreeMap.root")
+      : cmp_(cmp), size_(0, size_label), root_(nullptr, root_label),
+        node_label_("TreeMap.node") {}
 
   ~TreeMap() override { destroy(root_.unsafe_peek()); }
 
@@ -60,7 +65,11 @@ class TreeMap final : public SortedMap<K, V> {
         return old;
       }
     }
-    Node* fresh = atomos::tx_new<Node>(key, value, parent);
+    // Label node link cells only during setup population (host side): labels
+    // attached from a running worker fiber are host state that an abort
+    // cannot roll back (see audit::late_profile_label).
+    Node* fresh = atomos::tx_new<Node>(
+        key, value, parent, sim::Engine::in_worker() ? nullptr : node_label_);
     if (parent == nullptr) {
       root_.set(fresh);
     } else if (went_left) {
@@ -135,8 +144,9 @@ class TreeMap final : public SortedMap<K, V> {
 
  private:
   struct Node {
-    Node(const K& k, const V& v, Node* p)
-        : key(k), val(v), parent(p), left(nullptr), right(nullptr), red(true) {}
+    Node(const K& k, const V& v, Node* p, const char* label = nullptr)
+        : key(k), val(v), parent(p, label), left(nullptr, label),
+          right(nullptr, label), red(true, label) {}
     atomos::Shared<K> key;  // immutable after construction
     atomos::Shared<V> val;
     atomos::Shared<Node*> parent;
@@ -427,6 +437,7 @@ class TreeMap final : public SortedMap<K, V> {
   Compare cmp_;
   atomos::Shared<long> size_;
   atomos::Shared<Node*> root_;
+  const char* node_label_;  // applied to link cells of setup-created nodes
 };
 
 }  // namespace jstd

@@ -89,6 +89,14 @@ class Engine {
   Stats& stats() { return stats_; }
   MemSys& memsys() { return mem_; }
 
+  /// Attaches/detaches the txtrace event tracer (owned by the TM runtime).
+  /// Pure observation: attaching a tracer never changes simulated cycles.
+  void set_tracer(trace::Tracer* t) {
+    tracer_ = t;
+    mem_.set_tracer(t);
+  }
+  trace::Tracer* tracer() const { return tracer_; }
+
   // ---- API usable from inside worker fibers ----
 
   /// The engine whose run() is active on this thread (never null inside a
@@ -151,6 +159,7 @@ class Engine {
   Config cfg_;
   Stats stats_;
   MemSys mem_;
+  trace::Tracer* tracer_ = nullptr;
   std::vector<Cpu> cpus_;
   std::vector<std::function<void()>> work_;
   std::vector<void*> user_;

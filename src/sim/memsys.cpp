@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "trace/tracer.h"
+
 namespace sim {
 
 MemSys::MemSys(const Config& cfg, Stats& stats) : cfg_(cfg), stats_(stats) {
@@ -68,6 +70,8 @@ std::uint64_t MemSys::plain_load(int cpu, std::uintptr_t addr, std::uint64_t t) 
     return t + cfg_.l1_hit_cycles;
   }
   stats_.cpu(cpu).l1_misses++;
+  if (tracer_ != nullptr)
+    tracer_->on_miss(cpu, t, line, trace::MissClass::kPlainLoad);
   // Work on a copy: victim() below may evict other lines, which mutates the
   // directory table and would invalidate a live Dir pointer.
   Dir d = *dir_.try_emplace(line, Dir{}).first;
@@ -123,7 +127,11 @@ std::uint64_t MemSys::plain_store(int cpu, std::uintptr_t addr, std::uint64_t t)
     if ((sharers & 1u) != 0 && c != cpu) drop_from(c, line);
   }
   const bool was_miss = (w == nullptr);
-  if (was_miss) stats_.cpu(cpu).l1_misses++;
+  if (was_miss) {
+    stats_.cpu(cpu).l1_misses++;
+    if (tracer_ != nullptr)
+      tracer_->on_miss(cpu, t, line, trace::MissClass::kPlainStore);
+  }
   const std::uint64_t done =
       bus_.transact(t, cfg_.bus_arb_cycles, occ) + (was_miss ? cfg_.l2_hit_cycles : 0);
   if (w == nullptr) {
@@ -145,6 +153,8 @@ std::uint64_t MemSys::tx_load(int cpu, std::uintptr_t addr, std::uint64_t t) {
     return t + cfg_.l1_hit_cycles;
   }
   stats_.cpu(cpu).l1_misses++;
+  if (tracer_ != nullptr)
+    tracer_->on_miss(cpu, t, line, trace::MissClass::kTxLoad);
   const std::uint64_t done =
       bus_.transact(t, cfg_.bus_arb_cycles, cfg_.bus_xfer_cycles) + cfg_.l2_hit_cycles;
   Way& w = victim(cpu, line);
@@ -164,6 +174,8 @@ std::uint64_t MemSys::tx_store(int cpu, std::uintptr_t addr, std::uint64_t t) {
   if (w == nullptr) {
     // Write-allocate: fetch the line so commit can merge into it.
     stats_.cpu(cpu).l1_misses++;
+    if (tracer_ != nullptr)
+      tracer_->on_miss(cpu, t, line, trace::MissClass::kTxStore);
     done = bus_.transact(t, cfg_.bus_arb_cycles, cfg_.bus_xfer_cycles) + cfg_.l2_hit_cycles;
     w = &victim(cpu, line);
     w->line = line;

@@ -22,6 +22,10 @@
 #include "sim/flat_map.h"
 #include "sim/stats.h"
 
+namespace trace {
+class Tracer;
+}
+
 namespace sim {
 
 using LineAddr = std::uint64_t;
@@ -74,6 +78,11 @@ class MemSys {
 
   const Bus& bus() const { return bus_; }
 
+  /// Attaches/detaches the event tracer (miss events).  Timing is entirely
+  /// unaffected: the tracer is consulted behind `if (tracer_)` only after
+  /// all cycle accounting for an access is done.
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+
  private:
   enum class St : std::uint8_t { I, S, E, M };
 
@@ -110,6 +119,7 @@ class MemSys {
   // accessors below copy out and write back instead.
   FlatMap<LineAddr, Dir> dir_;
   std::uint64_t lru_tick_ = 0;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sim

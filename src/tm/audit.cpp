@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "trace/tracer.h"
+
 namespace atomos::audit {
 namespace {
 
@@ -201,6 +203,54 @@ void check_reader_dir(const detail::Txn& t, const ReaderDir& dir) {
       reported = true;
     }
   });
+}
+
+void check_trace_nesting(const trace::Tracer& tracer) {
+  using trace::Kind;
+  for (int cpu = 0; cpu < tracer.num_cpus(); ++cpu) {
+    if (tracer.dropped(cpu) != 0) continue;  // hole: pairing is unjudgeable
+    const trace::Event* ev = tracer.events(cpu);
+    const std::size_t n = tracer.count(cpu);
+    std::vector<Kind> stack;
+    std::string why;
+    for (std::size_t i = 0; i < n && why.empty(); ++i) {
+      const Kind k = static_cast<Kind>(ev[i].kind);
+      switch (k) {
+        case Kind::kTxnBegin:
+        case Kind::kOpenBegin:
+          stack.push_back(k);
+          break;
+        case Kind::kTxnCommit:
+        case Kind::kTxnAbort:
+          if (stack.empty() || stack.back() != Kind::kTxnBegin) {
+            why = "top-level exit at cycle " + std::to_string(ev[i].cycle) +
+                  (stack.empty() ? " with no open transaction"
+                                 : " while an open-nested child is active");
+          } else {
+            stack.pop_back();
+          }
+          break;
+        case Kind::kOpenCommit:
+        case Kind::kOpenAbort:
+          if (stack.empty() || stack.back() != Kind::kOpenBegin) {
+            why = "open-nested exit at cycle " + std::to_string(ev[i].cycle) +
+                  " without a matching open-nested begin";
+          } else {
+            stack.pop_back();
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    if (why.empty() && !stack.empty()) {
+      why = std::to_string(stack.size()) + " transaction(s) never terminated";
+    }
+    if (!why.empty()) {
+      report(Check::kTornTrace, "cpu " + std::to_string(cpu) +
+                                    " trace stream is torn: " + why);
+    }
+  }
 }
 
 // ---- Shared-cell registry ----

@@ -37,6 +37,10 @@
 
 #include "tm/runtime.h"
 
+namespace trace {
+class Tracer;
+}
+
 namespace atomos::audit {
 
 enum class Check {
@@ -45,6 +49,7 @@ enum class Check {
   kSetCorruption,
   kNakedStore,
   kLateProfileLabel,
+  kTornTrace,
   kChecks  // count sentinel
 };
 
@@ -85,6 +90,12 @@ void naked_store(std::uintptr_t addr);
 /// run.  Labels belong in object setup — see the ordering contract in
 /// tm/profile.h.
 void late_profile_label(std::uintptr_t va, const char* name);
+/// Audits a trace stream for well-nestedness per CPU: every kTxnBegin must
+/// pair with a kTxnCommit/kTxnAbort, every kOpenBegin with a matching open
+/// exit, in stack order.  CPUs whose buffer overflowed (dropped events) are
+/// skipped — pairing cannot be judged across a hole.  Called from ~Runtime
+/// when a tracer was attached; a torn stream means a lost emission point.
+void check_trace_nesting(const trace::Tracer& tracer);
 
 #else  // !TXCC_CHECKED — every hook is a free empty inline
 
@@ -108,6 +119,7 @@ inline void note_shared(std::uintptr_t, std::uint32_t) {}
 inline void forget_shared(std::uintptr_t) {}
 inline void naked_store(std::uintptr_t) {}
 inline void late_profile_label(std::uintptr_t, const char*) {}
+inline void check_trace_nesting(const trace::Tracer&) {}
 
 #endif
 

@@ -62,6 +62,13 @@ class Profile {
 
   void clear() { lines_.clear(); }
 
+  /// Visits every (line, label) pair — used to dump the label map into a
+  /// trace at teardown.  Iteration order is unspecified; sort downstream.
+  template <class F>
+  void for_each(F f) const {
+    for (const auto& [line, name] : lines_) f(line, name);
+  }
+
  private:
   bool enabled_ = false;
   std::unordered_map<sim::LineAddr, const char*> lines_;

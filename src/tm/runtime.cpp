@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "tm/audit.h"
 
@@ -17,9 +18,37 @@ Runtime::Runtime(sim::Engine& eng, std::unique_ptr<ContentionManager> cm)
   if (tls_runtime_ != nullptr)
     throw std::logic_error("atomos::Runtime: another runtime is already active on this thread");
   tls_runtime_ = this;
+  // Consume a pending thread-local trace request (set by the harness driver
+  // before it invokes a series body, or directly by tests/benches).  Enable
+  // profiling too: the labelled Shared cells are constructed after the
+  // Runtime (see profile.h's ordering contract), and the label map is what
+  // lets the trace attribute conflicts to named fields.
+  trace::Request req;
+  if (trace::take_request(req)) {
+    tracer_ = std::make_unique<trace::Tracer>(eng.config().num_cpus, req.capacity);
+    trace_path_ = std::move(req.path);
+    profile_.enable(true);
+    eng_.set_tracer(tracer_.get());
+  }
 }
 
 Runtime::~Runtime() {
+  if (tracer_ != nullptr) {
+    eng_.set_tracer(nullptr);
+    // The per-CPU streams must be well-nested (begin/commit/abort pairing,
+    // open enter/exit balance) — a torn stream means a lost emission point.
+    audit::check_trace_nesting(*tracer_);
+    profile_.for_each([this](sim::LineAddr line, const char* name) {
+      tracer_->set_label(line, name);
+    });
+    if (!trace_path_.empty()) {
+      try {
+        tracer_->write(trace_path_);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "atomos: trace write failed: %s\n", e.what());
+      }
+    }
+  }
   // Free anything still parked in purgatory (simulation is over).
   for (auto& p : purgatory_) p.del(p.ptr);
   for (CpuCtx& c : ctx_) {
@@ -72,6 +101,8 @@ Txn* Runtime::begin_txn(int cpu, bool open, int attempt) {
   assert(open || c.cur == nullptr);  // closed nesting uses frames
   t->reset(cpu, c.next_incarnation++, next_epoch_++, open, c.cur, eng_.now(), attempt);
   c.cur = t;
+  if (tracer_ != nullptr)
+    tracer_->on_txn_begin(cpu, eng_.now(), open, t->incarnation, attempt);
   eng_.tick(eng_.config().txn_begin_cycles);
   return t;
 }
@@ -236,6 +267,8 @@ void Runtime::acquire_token(int cpu) {
     token_depth_++;
     return;
   }
+  if (token_owner_ != -1 && tracer_ != nullptr)
+    tracer_->on_lock_block(cpu, eng_.now(), token_owner_);
   while (token_owner_ != -1) {
     token_queue_.push_back(cpu);
     eng_.block();
@@ -280,6 +313,7 @@ void Runtime::flag_readers(sim::LineAddr line, int committer) {
       if (f == nullptr) continue;
       const int frame = *f;
       if (v->kill_frame < 0 || frame < v->kill_frame) v->kill_frame = frame;
+      if (tracer_ != nullptr) tracer_->on_violation_flag(committer, eng_.now(), line, c);
       if (profiling) {
         const char* name = profile_.find(line);
         eng_.stats().bump(std::string("violations@") + (name != nullptr ? name : "<unnamed>"));
@@ -356,6 +390,10 @@ void Runtime::commit_txn(Txn* t) {
       // Run commit handlers inside the token, each as a closed-nested
       // frame; they may register further commit handlers (run too).
       if (runs_handlers) {
+        if (tracer_ != nullptr)
+          tracer_->on_handler_run(
+              t->cpu, eng_.now(), /*abort_path=*/false,
+              t->commit_handlers.size() + t->top_commit_handlers.size());
         for (std::size_t i = 0; i < t->commit_handlers.size(); ++i) {
           auto h = std::move(t->commit_handlers[i]);
           run_closed_frame(*t, [&h] { h(); });
@@ -406,6 +444,8 @@ void Runtime::commit_txn(Txn* t) {
     audit::handler_pairing(id, t->top_commit_handlers.size(), t->top_abort_handlers.size());
     audit::txn_finished(id, /*committed=*/true);
   }
+  if (tracer_ != nullptr)
+    tracer_->on_txn_commit(t->cpu, eng_.now(), t->open, t->writes.size());
   c.cur = t->parent;
   release_txn(t);
   if (!purgatory_.empty()) collect_garbage();
@@ -420,6 +460,13 @@ void Runtime::abort_txn(Txn* t) {
   eng_.memsys().abort_clear_speculative(t->cpu);
   auto& st = eng_.stats().cpu(t->cpu);
   st.lost_cycles += eng_.now() - t->start_clock;
+  // Emit the abort before compensation runs: the abort handlers' detached
+  // open transactions then appear after this event, keeping the per-CPU
+  // stream well-nested even if a handler itself unwinds.
+  if (tracer_ != nullptr)
+    tracer_->on_txn_abort(t->cpu, eng_.now(), t->open,
+                          eng_.now() - t->start_clock, t->attempt,
+                          t->kill_semantic);
 
   // Destroy unpublished allocations (LIFO); cancel deferred deletes.
   for (std::size_t i = t->allocs.size(); i > 0; --i) t->allocs[i - 1].del(t->allocs[i - 1].ptr);
@@ -431,6 +478,9 @@ void Runtime::abort_txn(Txn* t) {
   c.cur = t->parent;
   for (auto& h : t->top_abort_handlers) t->abort_handlers.push_back(std::move(h));
   if (!t->abort_handlers.empty()) {
+    if (tracer_ != nullptr)
+      tracer_->on_handler_run(t->cpu, eng_.now(), /*abort_path=*/true,
+                              t->abort_handlers.size());
     Txn* saved = c.cur;
     c.cur = nullptr;
     const bool saved_flag = c.in_abort_handlers;

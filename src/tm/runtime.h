@@ -29,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "tm/contention.h"
 #include "tm/profile.h"
 #include "tm/reader_dir.h"
+#include "trace/tracer.h"
 
 namespace atomos {
 
@@ -224,6 +226,34 @@ class Runtime {
   Profile& profile() { return profile_; }
   const Profile& profile() const { return profile_; }
 
+  /// The txtrace event tracer, or nullptr when tracing is off.  A tracer is
+  /// attached when this Runtime is constructed with a pending
+  /// trace::set_request() on the current host thread (how the harness
+  /// driver's `--trace` reaches a Runtime built deep inside a series body);
+  /// the trace file is written in ~Runtime.  Observation only: attaching a
+  /// tracer never changes simulated cycles.
+  trace::Tracer* tracer() { return tracer_.get(); }
+
+  // Semantic-lock trace hooks, called by the lock tables (core/lockers.h).
+  // Cheap single-branch no-ops when tracing is off.
+  void trace_sem_acquire(const void* table) {
+    if (tracer_ != nullptr && sim::Engine::in_worker())
+      tracer_->on_lock_acquire(eng_.cpu_id(), eng_.now(), table);
+  }
+  void trace_sem_release(const void* table) {
+    if (tracer_ != nullptr && sim::Engine::in_worker())
+      tracer_->on_lock_release(eng_.cpu_id(), eng_.now(), table);
+  }
+  void trace_sem_violation(const void* table, int victim_cpu) {
+    if (tracer_ != nullptr && sim::Engine::in_worker())
+      tracer_->on_sem_violation(eng_.cpu_id(), eng_.now(), table, victim_cpu);
+  }
+  /// Registers a human name for a semantic lock table (setup-time; the
+  /// collection-class wrappers name their tables at construction).
+  void trace_name_table(const void* table, const char* name) {
+    if (tracer_ != nullptr && name != nullptr) tracer_->name_table(table, name);
+  }
+
   // ---- transactional region API ----
 
   /// Runs `fn` as a transaction: top-level if none is active on this CPU,
@@ -389,6 +419,11 @@ class Runtime {
   std::unique_ptr<ContentionManager> cm_;
   std::vector<CpuCtx> ctx_;
   Profile profile_;
+
+  // txtrace: owned event buffers (null when tracing is off) and the file to
+  // write at destruction ("" = in-memory only, e.g. overhead benches).
+  std::unique_ptr<trace::Tracer> tracer_;
+  std::string trace_path_;
 
   // Line -> reader-CPU bitmask, maintained at read-log append/rollback time,
   // so commits flag conflicting readers without scanning every CPU's stack.

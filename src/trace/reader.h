@@ -1,0 +1,73 @@
+// txtrace file reader + analyses shared by tools/txtrace and the tests:
+// conflict attribution (top-K addresses / semantic locks, wasted cycles per
+// abort cause, abort-chain depth histograms) and Chrome trace-event JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/events.h"
+
+namespace trace {
+
+struct TraceFile {
+  int num_cpus = 0;
+  std::unordered_map<std::uint64_t, std::string> labels;  // line -> name
+  std::vector<std::string> table_names;                   // dense id -> name
+  std::vector<std::vector<Event>> events;                 // per cpu, seq order
+  std::vector<std::uint64_t> dropped;                     // per cpu
+};
+
+// Parses a file produced by Tracer::write.  Throws std::runtime_error on a
+// missing/short/garbled file.
+TraceFile read_trace_file(const std::string& path);
+
+// Resolve a cache-line address to its Profile label ("HashMap.size", ...) or
+// a hex address when unlabeled.
+std::string label_of(const TraceFile& tf, std::uint64_t line);
+// Resolve a dense table id to its registered name or "table#<id>".
+std::string table_of(const TraceFile& tf, std::uint64_t id);
+
+struct ConflictSite {
+  std::string name;             // label or table name
+  std::uint64_t key = 0;        // line address or table id
+  bool semantic = false;        // semantic lock vs memory line
+  std::uint64_t flags = 0;      // violation flags raised at this site
+  std::uint64_t wasted_cycles = 0;  // abort-lost cycles attributed here
+};
+
+struct Attribution {
+  std::vector<ConflictSite> sites;  // sorted: wasted desc, flags desc, name
+  std::uint64_t commits = 0;        // top-level commits
+  std::uint64_t aborts = 0;         // top-level aborts
+  std::uint64_t open_commits = 0;
+  std::uint64_t open_aborts = 0;
+  std::uint64_t wasted_total = 0;       // sum of abort lost-cycle args
+  std::uint64_t wasted_memory = 0;      // attributed to a memory line
+  std::uint64_t wasted_semantic = 0;    // attributed to a semantic lock
+  std::uint64_t wasted_unattributed = 0;
+  // chain_histogram[d] = number of maximal runs of d consecutive top-level
+  // aborts on one CPU (d capped at kMaxChain).
+  static constexpr std::size_t kMaxChain = 32;
+  std::vector<std::uint64_t> chain_histogram;
+  std::uint64_t dropped_events = 0;
+};
+
+// Attribute every top-level abort to the most recent violation flag that
+// targeted its CPU at or before the abort's cycle (semantic flags win when
+// the abort was semantically killed).  Deterministic: ties broken by
+// (cpu, seq) of the flag.
+Attribution attribute(const TraceFile& tf);
+
+// Human-readable conflict-attribution report (top_k sites).
+std::string format_report(const TraceFile& tf, const Attribution& a,
+                          std::size_t top_k = 10);
+
+// Chrome trace-event JSON (chrome://tracing / Perfetto): one track per CPU,
+// nested transaction/open-nested slices, instants for flags/locks/misses,
+// flow arrows from each writer's violation flag to the victim's next abort.
+std::string chrome_trace_json(const TraceFile& tf);
+
+}  // namespace trace

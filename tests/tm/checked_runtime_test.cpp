@@ -16,6 +16,7 @@
 #include "jstd/hashmap.h"
 #include "tm/runtime.h"
 #include "tm/shared.h"
+#include "trace/tracer.h"
 
 namespace atomos {
 namespace {
@@ -231,6 +232,81 @@ TEST_F(CheckedRuntimeTest, FlagsProfileLabelAttachedMidSimulation) {
   EXPECT_EQ(audit::count(audit::Check::kLateProfileLabel), 1u);
   ASSERT_FALSE(audit::reports().empty());
   EXPECT_NE(audit::reports().back().find("mid-run-cell"), std::string::npos);
+}
+
+// A trace stream whose begin/commit events do not nest means an emission
+// point was lost (a torn stream).  Drive a Tracer by hand to plant the tear.
+TEST_F(CheckedRuntimeTest, FlagsTornTraceStreams) {
+  {
+    trace::Tracer t(1);
+    t.on_txn_begin(0, 100, /*open=*/false, 1, 1);  // ... and never exits
+    audit::check_trace_nesting(t);
+  }
+  EXPECT_EQ(audit::count(audit::Check::kTornTrace), 1u);
+  ASSERT_FALSE(audit::reports().empty());
+  EXPECT_NE(audit::reports().back().find("never terminated"), std::string::npos);
+
+  {
+    trace::Tracer t(1);
+    t.on_txn_begin(0, 100, /*open=*/false, 1, 1);
+    t.on_txn_begin(0, 110, /*open=*/true, 2, 1);     // open-nested child...
+    t.on_txn_commit(0, 120, /*open=*/false, 3);      // ...crossed by top exit
+    audit::check_trace_nesting(t);
+  }
+  EXPECT_EQ(audit::count(audit::Check::kTornTrace), 2u);
+  EXPECT_NE(audit::reports().back().find("open-nested child is active"),
+            std::string::npos);
+
+  {
+    trace::Tracer t(1);
+    t.on_txn_commit(0, 50, /*open=*/true, 0);  // open exit with no begin
+    audit::check_trace_nesting(t);
+  }
+  EXPECT_EQ(audit::count(audit::Check::kTornTrace), 3u);
+
+  // Overflowed streams are skipped (pairing is unjudgeable across a hole),
+  // and well-nested streams stay silent.
+  {
+    trace::Tracer overflowed(1, /*capacity_per_cpu=*/1);
+    overflowed.on_txn_begin(0, 10, false, 1, 1);
+    overflowed.on_txn_begin(0, 20, false, 2, 1);  // dropped: buffer full
+    audit::check_trace_nesting(overflowed);
+
+    trace::Tracer clean(1);
+    clean.on_txn_begin(0, 10, false, 1, 1);
+    clean.on_txn_begin(0, 20, true, 2, 1);
+    clean.on_txn_commit(0, 30, true, 0);
+    clean.on_txn_commit(0, 40, false, 1);
+    audit::check_trace_nesting(clean);
+  }
+  EXPECT_EQ(audit::count(audit::Check::kTornTrace), 3u);
+}
+
+// Positive integration: a real traced run (in-memory tracer via an empty
+// request path) must produce well-nested streams on every CPU — ~Runtime
+// audits them automatically.
+TEST_F(CheckedRuntimeTest, RealTracedRunIsWellNested) {
+  trace::set_request("");  // in-memory tracer, audited at Runtime teardown
+  {
+    sim::Engine eng(tcc_cfg(2));
+    Runtime rt(eng);
+    ASSERT_NE(rt.tracer(), nullptr);
+    Shared<long> cell(0);
+    for (int c = 0; c < 2; ++c) {
+      eng.spawn([&] {
+        for (int i = 0; i < 20; ++i) {
+          atomically([&] {
+            cell.set(cell.get() + 1);
+            open_atomically([&] { work(5); });
+          });
+        }
+      });
+    }
+    eng.run();
+  }
+  trace::clear_request();
+  EXPECT_EQ(audit::count(audit::Check::kTornTrace), 0u)
+      << (audit::reports().empty() ? "" : audit::reports().back());
 }
 
 }  // namespace

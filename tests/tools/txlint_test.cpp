@@ -30,13 +30,14 @@ bool fires_at(const std::vector<Finding>& fs, std::string_view rule, int line) {
                      [&](const Finding& f) { return f.rule == rule && f.line == line; });
 }
 
-TEST(TxlintRules, FiveRulesRegistered) {
+TEST(TxlintRules, SixRulesRegistered) {
   const auto& rs = rules();
-  ASSERT_EQ(rs.size(), 5u);
+  ASSERT_EQ(rs.size(), 6u);
   std::vector<std::string_view> names;
   for (const auto& r : rs) names.push_back(r.name);
   for (const char* want : {"shared-field", "raw-peek", "catch-swallow",
-                           "unpaired-handler", "shared-value-capture"}) {
+                           "unpaired-handler", "shared-value-capture",
+                           "trace-hook"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), want), names.end()) << want;
   }
 }
@@ -189,6 +190,47 @@ TEST(SharedCaptureRule, AllowsReferenceCaptures) {
       "  (void)a; (void)b; (void)c;\n"
       "}\n";
   EXPECT_TRUE(of_rule(scan(src), "shared-value-capture").empty());
+}
+
+// ---- trace-hook ----
+
+TEST(TraceHookRule, FlagsAllocationAndTmAccessInsideHooks) {
+  const std::string src =
+      "namespace trace {\n"                                   // 1
+      "struct T {\n"                                          // 2
+      "  void on_txn_begin(int cpu) {\n"                      // 3
+      "    events.push_back(cpu);\n"                          // 4  <- alloc path
+      "    auto* p = new int(cpu);\n"                         // 5  <- heap alloc
+      "    (void)p;\n"                                        // 6
+      "  }\n"                                                 // 7
+      "  void on_miss(long x) {\n"                            // 8
+      "    (void)atomically([&] { return x; });\n"            // 9  <- TM re-entry
+      "  }\n"                                                 // 10
+      "};\n"                                                  // 11
+      "}\n";
+  const auto fs = scan(src);
+  EXPECT_EQ(of_rule(fs, "trace-hook").size(), 3u);
+  EXPECT_TRUE(fires_at(fs, "trace-hook", 4));
+  EXPECT_TRUE(fires_at(fs, "trace-hook", 5));
+  EXPECT_TRUE(fires_at(fs, "trace-hook", 9));
+}
+
+TEST(TraceHookRule, QuietOutsideTraceNamespaceAndNonHookFunctions) {
+  const std::string src =
+      "namespace trace {\n"
+      "struct T {\n"
+      "  void write_file() { names.push_back(1); }\n"  // not on_*: setup/IO path
+      "  void on_txn_begin(int cpu) {\n"
+      "    if (n >= cap) { ++dropped; ++seq; return; }\n"  // raw stores only
+      "    buf[n].cycle = cpu;\n"
+      "    ++n; ++seq;\n"
+      "  }\n"
+      "};\n"
+      "}\n"
+      "namespace app {\n"
+      "struct U { void on_click() { items.push_back(2); } };\n"  // not trace::
+      "}\n";
+  EXPECT_TRUE(of_rule(scan(src), "trace-hook").empty());
 }
 
 // ---- suppressions and options ----

@@ -1,0 +1,118 @@
+// The two load-bearing properties of txtrace:
+//
+//  1. DETERMINISM — a traced `--jobs N` sweep writes byte-identical trace
+//     files to the serial sweep, because every event is stamped with
+//     simulated cycles and merged in canonical (cpu, seq) order, never by
+//     host time or completion order.
+//  2. TRANSPARENCY — attaching a tracer never changes simulated cycles:
+//     every emission sits behind `if (tracer)` off the timing path, so the
+//     golden cycle totals of an untraced run are reproduced exactly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/testmap_common.h"
+#include "harness/driver.h"
+#include "trace/reader.h"
+
+namespace {
+
+using bench::TestMapParams;
+
+TestMapParams tiny_params() {
+  TestMapParams p;
+  p.total_ops = 160;
+  p.think_cycles = 500;
+  p.seed = 12345;
+  return p;
+}
+
+// Fig1-shaped two-series sweep over a genuinely contended HashMap.
+std::vector<harness::Series> tiny_fig1(const TestMapParams& p) {
+  auto make_hash = [p] {
+    return std::make_unique<jstd::HashMap<long, long>>(
+        static_cast<std::size_t>(p.key_space) * 2);
+  };
+  std::vector<harness::Series> series;
+  series.push_back(bench::java_series("Java HashMap", p, make_hash));
+  series.push_back(bench::atomos_series("Atomos HashMap", p, make_hash));
+  return series;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(TraceDeterminism, TraceFilesAreByteIdenticalAcrossJobs) {
+  const TestMapParams p = tiny_params();
+  const std::vector<int> cpus = {1, 4, 8};
+  harness::DriverOptions serial;
+  serial.jobs = 1;
+  serial.trace_path = ::testing::TempDir() + "txdet_serial_";
+  harness::DriverOptions par = serial;
+  par.jobs = 8;
+  par.trace_path = ::testing::TempDir() + "txdet_jobs8_";
+
+  const harness::FigureResult a =
+      harness::run_figure_driver("serial", tiny_fig1(p), cpus, "", serial);
+  const harness::FigureResult b =
+      harness::run_figure_driver("jobs8", tiny_fig1(p), cpus, "", par);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  int compared = 0;
+  for (const char* series : {"Java HashMap", "Atomos HashMap"}) {
+    for (const int c : cpus) {
+      const std::string fa =
+          harness::trace_file_path(serial.trace_path, series, c);
+      const std::string fb = harness::trace_file_path(par.trace_path, series, c);
+      const std::string ba = slurp(fa);
+      const std::string bb = slurp(fb);
+      ASSERT_FALSE(ba.empty()) << fa;
+      EXPECT_EQ(ba, bb) << series << " cpus=" << c;
+      ++compared;
+      std::remove(fa.c_str());
+      std::remove(fb.c_str());
+    }
+  }
+  EXPECT_EQ(compared, 6);
+}
+
+TEST(TraceDeterminism, TracingDoesNotChangeSimulatedCycles) {
+  const TestMapParams p = tiny_params();
+  const std::vector<int> cpus = {1, 8};
+  harness::DriverOptions plain;
+  harness::DriverOptions traced;
+  traced.trace_path = ::testing::TempDir() + "txdet_cycles_";
+
+  const harness::FigureResult off =
+      harness::run_figure_driver("untraced", tiny_fig1(p), cpus, "", plain);
+  const harness::FigureResult on =
+      harness::run_figure_driver("traced", tiny_fig1(p), cpus, "", traced);
+  ASSERT_TRUE(off.ok());
+  ASSERT_TRUE(on.ok());
+  ASSERT_EQ(off.results.size(), on.results.size());
+  for (std::size_t i = 0; i < off.results.size(); ++i) {
+    EXPECT_EQ(off.results[i].cycles, on.results[i].cycles)
+        << off.results[i].series << " cpus=" << off.results[i].cpus;
+    EXPECT_EQ(off.results[i].violations, on.results[i].violations);
+    EXPECT_EQ(off.results[i].commits, on.results[i].commits);
+    const std::string f = harness::trace_file_path(
+        traced.trace_path, on.results[i].series, on.results[i].cpus);
+    std::remove(f.c_str());
+  }
+}
+
+TEST(TraceDeterminism, TraceFileNamesSanitizeSeriesNames) {
+  EXPECT_EQ(harness::trace_file_path("/tmp/x_", "Atomos Open (TCC)", 16),
+            "/tmp/x_Atomos_Open__TCC__cpus16.trace");
+}
+
+}  // namespace

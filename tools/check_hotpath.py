@@ -2,18 +2,27 @@
 """CI gate for the TM hot-path benchmark (bench/hotpath.cpp).
 
 Compares a fresh BENCH_hotpath.json against the committed baseline and fails
-when either
+when any of the following hold:
 
   * normalized throughput (ops_per_sec / host calibration) of any scenario
-    regressed by more than --tolerance (default 25%), or
+    regressed by more than --tolerance (default 25%),
+  * the geometric mean of the normalized-throughput ratios across the
+    trace-OFF scenarios regressed by more than --geomean-tolerance
+    (default 2%) — this is the txtrace transparency budget: with no tracer
+    attached the hot path must not pay for the hooks,
   * a scenario's simulated cycle total changed at all — the hot-path work is
     host-side only; simulated timing is part of the cost model and must be
-    bit-stable across builds.
+    bit-stable across builds, or
+  * a "<name>_traced" twin's sim_cycles differ from its plain "<name>" run
+    within the CURRENT file — attaching a tracer must be invisible to the
+    simulated clock.
 
-Usage: tools/check_hotpath.py BASELINE.json CURRENT.json [--tolerance 0.25]
+Usage: tools/check_hotpath.py BASELINE.json CURRENT.json
+           [--tolerance 0.25] [--geomean-tolerance 0.02]
 """
 import argparse
 import json
+import math
 import sys
 
 
@@ -28,12 +37,17 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--tolerance", type=float, default=0.25,
-                    help="allowed fractional normalized-throughput regression")
+                    help="allowed fractional normalized-throughput regression "
+                         "per scenario")
+    ap.add_argument("--geomean-tolerance", type=float, default=0.02,
+                    help="allowed fractional regression of the geomean "
+                         "normalized-throughput ratio over trace-off scenarios")
     args = ap.parse_args()
 
     base = load(args.baseline)
     cur = load(args.current)
     failed = False
+    off_ratios = []
 
     for name, b in sorted(base.items()):
         c = cur.get(name)
@@ -51,11 +65,42 @@ def main():
             print(f"SKIP {name}: no normalized throughput recorded")
             continue
         ratio = cn / bn
+        if not name.endswith("_traced"):
+            off_ratios.append(ratio)
         verdict = "ok"
         if ratio < 1.0 - args.tolerance:
             verdict = f"FAIL (regressed beyond {args.tolerance:.0%})"
             failed = True
         print(f"{name}: normalized {bn:.4g} -> {cn:.4g}  ({ratio:.2f}x)  {verdict}")
+
+    if off_ratios:
+        geomean = math.exp(sum(math.log(r) for r in off_ratios) / len(off_ratios))
+        verdict = "ok"
+        if geomean < 1.0 - args.geomean_tolerance:
+            verdict = f"FAIL (trace-off geomean beyond {args.geomean_tolerance:.0%})"
+            failed = True
+        print(f"trace-off geomean over {len(off_ratios)} scenarios: "
+              f"{geomean:.3f}x  {verdict}")
+
+    # Transparency witness inside the current run: a traced twin replays the
+    # exact same simulated execution as its plain scenario.
+    for name, c in sorted(cur.items()):
+        if not name.endswith("_traced"):
+            continue
+        plain = cur.get(name[:-len("_traced")])
+        if plain is None:
+            print(f"FAIL {name}: no matching plain scenario in current run")
+            failed = True
+            continue
+        if c["sim_cycles"] != plain["sim_cycles"]:
+            print(f"FAIL {name}: tracing changed simulated cycles "
+                  f"{plain['sim_cycles']} -> {c['sim_cycles']}")
+            failed = True
+        else:
+            overhead = (c["wall_seconds"] / plain["wall_seconds"] - 1.0
+                        if plain["wall_seconds"] else 0.0)
+            print(f"{name}: sim_cycles match plain run; "
+                  f"trace-on wall overhead {overhead:+.1%}")
 
     if failed:
         print("check_hotpath: FAILED")

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI validator for txtrace's Chrome tracing JSON export.
+
+Parses the JSON with a real parser (the C++ emitter is hand-rolled) and
+checks the structural invariants chrome://tracing and Perfetto rely on:
+
+  * top-level object with a "traceEvents" list,
+  * every event has the required fields for its phase
+    (ph/ts/pid/tid, plus name for B/i/M and id for s/f),
+  * per-(pid, tid) B/E slice events are balanced and properly nested,
+  * timestamps are non-negative, and monotone non-decreasing per tid for
+    slice/instant events (flow "s"/"f" arrows are exempt: the emitter
+    writes the "f" end onto the victim's tid while scanning the writer's
+    cpu block, and Chrome orders by ts itself),
+  * at least one non-metadata event exists (an empty trace means the
+    --trace plumbing silently broke), and — with --require-slices — at
+    least one transaction slice (lock-based series legitimately record
+    only miss/lock instants, so that check is opt-in).
+
+Usage: tools/check_trace.py TRACE.json [--require-slices]
+"""
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}")
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace_json")
+    ap.add_argument("--require-slices", action="store_true",
+                    help="fail unless at least one B/E transaction slice "
+                         "exists (use for transactional series)")
+    args = ap.parse_args()
+    with open(args.trace_json) as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail("top level is not an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail("'traceEvents' is not a list")
+
+    stacks = {}     # (pid, tid) -> list of open B names
+    last_ts = {}    # tid -> last slice/instant timestamp seen
+    slices = 0
+    payload = 0     # non-metadata events
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph is None:
+            return fail(f"event {i} has no 'ph'")
+        for field in ("pid", "tid"):
+            if field not in ev:
+                return fail(f"event {i} (ph={ph}) missing '{field}'")
+        if ph == "M":
+            if "name" not in ev:
+                return fail(f"metadata event {i} missing 'name'")
+            continue
+        payload += 1
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            return fail(f"event {i} (ph={ph}) has bad ts {ts!r}")
+        tid = ev["tid"]
+        if ph in ("B", "E", "i"):
+            if ts < last_ts.get(tid, 0):
+                return fail(f"event {i} ts {ts} goes backwards on tid {tid}")
+            last_ts[tid] = ts
+        key = (ev["pid"], tid)
+        if ph == "B":
+            if "name" not in ev:
+                return fail(f"B event {i} missing 'name'")
+            stacks.setdefault(key, []).append(ev["name"])
+            slices += 1
+        elif ph == "E":
+            if not stacks.get(key):
+                return fail(f"E event {i} on tid {tid} with no open slice")
+            stacks[key].pop()
+        elif ph == "i":
+            if "name" not in ev:
+                return fail(f"instant event {i} missing 'name'")
+        elif ph in ("s", "f"):
+            if "id" not in ev:
+                return fail(f"flow event {i} (ph={ph}) missing 'id'")
+        else:
+            return fail(f"event {i} has unknown phase {ph!r}")
+
+    open_slices = {k: v for k, v in stacks.items() if v}
+    if open_slices:
+        return fail(f"unbalanced B/E slices: {open_slices}")
+    if payload == 0:
+        return fail("no events at all — tracing plumbing broken?")
+    if args.require_slices and slices == 0:
+        return fail("no transaction slices in a transactional series trace")
+
+    print(f"check_trace: ok ({len(events)} events, {slices} slices, "
+          f"{len(last_ts)} threads)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

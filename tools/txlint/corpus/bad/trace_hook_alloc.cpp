@@ -1,0 +1,35 @@
+// BAD: trace-hook bodies that allocate or touch transactional state.  Event
+// hooks run on the simulated hot path under `if (tracer)`; anything beyond a
+// raw store into the preallocated per-CPU buffer perturbs wall-clock (and a
+// Shared access would recurse into the very runtime being traced).
+#include <cstdint>
+#include <vector>
+
+namespace trace {
+
+struct LeakyTracer {
+  std::vector<std::uint64_t> events;
+
+  void on_txn_begin(int cpu, std::uint64_t cycle) {
+    (void)cpu;
+    events.push_back(cycle);  // BAD: may reallocate mid-simulation
+  }
+
+  void on_txn_commit(int cpu, std::uint64_t cycle) {
+    (void)cpu;
+    auto* boxed = new std::uint64_t(cycle);  // BAD: heap allocation per event
+    events.push_back(*boxed);                // BAD again
+    delete boxed;                            // BAD: and the matching free
+  }
+
+  void on_violation_flag(int cpu, std::uint64_t cycle) {
+    (void)cpu;
+    (void)cycle;
+    // BAD: touching a Shared cell from a hook re-enters the TM runtime.
+    extern atomos::Shared<long>* g_counter;
+    (void)g_counter;
+    events.reserve(events.size() + 1);  // BAD: still an allocation path
+  }
+};
+
+}  // namespace trace

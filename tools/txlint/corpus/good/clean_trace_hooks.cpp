@@ -1,0 +1,43 @@
+// GOOD: trace hooks that only store raw fields into a preallocated
+// fixed-capacity buffer — nothing in this file may be flagged.  This is the
+// discipline src/trace/tracer.h follows: overflow drops the event (the
+// sequence number still advances so the hole is detectable), and no code
+// path allocates or touches transactional state.
+#include <cstdint>
+#include <memory>
+
+namespace trace {
+
+struct FixedBufTracer {
+  struct Event {
+    std::uint64_t cycle;
+    std::uint64_t arg;
+    std::uint32_t seq;
+    std::uint8_t kind;
+  };
+
+  std::unique_ptr<Event[]> buf;  // sized once, at construction (not a hook)
+  std::uint32_t n = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t cap = 0;
+  std::uint64_t dropped = 0;
+
+  void on_txn_begin(std::uint64_t cycle, std::uint64_t arg) {
+    if (n >= cap) {
+      ++dropped;
+      ++seq;  // holes stay detectable
+      return;
+    }
+    Event& e = buf[n];
+    e.cycle = cycle;
+    e.arg = arg;
+    e.seq = seq;
+    e.kind = 1;
+    ++n;
+    ++seq;
+  }
+
+  void on_txn_commit(std::uint64_t cycle) { on_txn_begin(cycle, 0); }
+};
+
+}  // namespace trace

@@ -19,6 +19,7 @@ constexpr std::string_view kRawPeek = "raw-peek";
 constexpr std::string_view kCatchSwallow = "catch-swallow";
 constexpr std::string_view kUnpairedHandler = "unpaired-handler";
 constexpr std::string_view kSharedCapture = "shared-value-capture";
+constexpr std::string_view kTraceHook = "trace-hook";
 
 const std::vector<RuleInfo> kRules = {
     {kSharedField,
@@ -34,6 +35,10 @@ const std::vector<RuleInfo> kRules = {
      "commit handler registered without a paired abort handler in the same "
      "function"},
     {kSharedCapture, "Shared<T> object captured by value in a lambda"},
+    {kTraceHook,
+     "heap allocation or transactional (Shared<T>) access inside a trace-hook "
+     "body (namespace trace, function on_*) — hooks run on the simulated hot "
+     "path and must be raw fixed-buffer stores"},
 };
 
 // ---------------------------------------------------------------------------
@@ -350,6 +355,17 @@ const std::unordered_set<std::string_view> kControlKeywords = {
 const std::unordered_set<std::string_view> kBodyEscapes = {
     "throw", "abort", "terminate", "_Exit", "exit", "quick_exit", "rethrow_exception"};
 
+// Identifiers forbidden inside trace-hook bodies (namespace trace, function
+// name on_*): allocating calls would perturb hot-path wall-clock and malloc
+// state; transactional accesses would recurse into the runtime being traced.
+const std::unordered_set<std::string_view> kTraceHookAlloc = {
+    "new",       "delete", "malloc",       "calloc",      "realloc",
+    "push_back", "emplace_back", "emplace", "insert",     "resize",
+    "reserve",   "make_unique",  "make_shared"};
+const std::unordered_set<std::string_view> kTraceHookTmAccess = {
+    "Shared", "atomically", "open_atomically", "tm_read", "tm_write",
+    "unsafe_peek"};
+
 class Scanner {
  public:
   Scanner(const std::string& path, std::string_view content, const Options& opts)
@@ -618,6 +634,23 @@ class Scanner {
 
   void ident_checks(std::size_t i) {
     const std::string_view id = toks_[i].text;
+
+    if (in_namespace("trace")) {
+      Frame* fn = nearest_function();
+      if (fn != nullptr && fn->name.rfind("on_", 0) == 0) {
+        if (kTraceHookAlloc.count(id) != 0) {
+          emit(kTraceHook, toks_[i].line,
+               "heap-allocating call '" + std::string(id) + "' inside trace hook '" +
+                   fn->name + "' — hooks run on the simulated hot path; store "
+                   "into the preallocated per-CPU event buffer instead");
+        } else if (kTraceHookTmAccess.count(id) != 0) {
+          emit(kTraceHook, toks_[i].line,
+               "transactional access '" + std::string(id) + "' inside trace hook '" +
+                   fn->name + "' — a hook must not re-enter the runtime it is "
+                   "tracing");
+        }
+      }
+    }
 
     if (id == "unsafe_peek" || id == "unsafe_peek_next") {
       // Calls only; the declaration `T unsafe_peek() const {` is the oracle
