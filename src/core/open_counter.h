@@ -17,6 +17,12 @@
 //                         leave holes, which is precisely the database
 //                         community's serializability-vs-isolation example
 //                         the paper cites (Gray & Reuter).
+//
+// Every counter cell lives line-isolated in the counter arena
+// (sim::kCounterCell): open nesting removes the counter from the parent's
+// read/write set only if no *parent-level* cell is co-resident on the
+// counter's line — the fig4 feedback storm came from exactly that layout
+// accident (see sim/vaddr.h and EXPERIMENTS.md).
 #pragma once
 
 #include "tm/runtime.h"
@@ -28,7 +34,7 @@ namespace tcc {
 class OpenCounter {
  public:
   explicit OpenCounter(long initial = 0, const char* name = nullptr)
-      : v_(initial, name) {}
+      : v_(initial, name, sim::kCounterCell) {}
 
   long get() const {
     return atomos::open_atomically([&] { return v_.get(); });
@@ -51,7 +57,7 @@ class OpenCounter {
 class CompensatedCounter {
  public:
   explicit CompensatedCounter(long initial = 0, const char* name = nullptr)
-      : v_(initial, name) {}
+      : v_(initial, name, sim::kCounterCell) {}
 
   long get() const {
     return atomos::open_atomically([&] { return v_.get(); });
@@ -78,7 +84,7 @@ class CompensatedCounter {
 class UidGenerator {
  public:
   explicit UidGenerator(long first = 1, const char* name = nullptr)
-      : next_(first, name) {}
+      : next_(first, name, sim::kCounterCell) {}
 
   long next() {
     return atomos::open_atomically([&] {

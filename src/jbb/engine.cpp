@@ -50,7 +50,7 @@ std::unique_ptr<jstd::SortedMap<long, long>> make_new_order_table(Flavor f) {
 
 std::unique_ptr<jstd::Map<long, History*>> make_history_table(Flavor f) {
   auto inner = std::make_unique<jstd::HashMap<long, History*>>(
-      4096, 0.75F, "historyTable.size");
+      4096, 0.75F, "historyTable.size", "historyTable.table");
   if (f == Flavor::kAtomosTransactional) {
     return std::make_unique<tcc::TransactionalMap<long, History*>>(
         std::move(inner), tcc::Detection::kOptimistic, "historyTable");
@@ -124,6 +124,7 @@ void Engine::new_order(int dnum, std::uint64_t& rng) {
                        1 + static_cast<long>(rnd(rng) % 5));
   }
   in_txn_or_plain([&] {
+    wh_->txn_count.add(1);  // SPECjbb per-warehouse transaction statistic
     Customer* cust = d.customers[cidx].get();
     std::vector<OrderLine> lines;
     long total = 0;
@@ -160,6 +161,7 @@ void Engine::payment(int dnum, std::uint64_t& rng) {
   const auto cidx = rnd(rng) % d.customers.size();
   const long amount = 100 + static_cast<long>(rnd(rng) % 5000);
   in_txn_or_plain([&] {
+    wh_->txn_count.add(1);
     Customer* cust = d.customers[cidx].get();
     long hid;
     {
@@ -185,6 +187,7 @@ void Engine::order_status(int dnum, std::uint64_t& rng) {
   District& d = district(dnum);
   const auto cidx = rnd(rng) % d.customers.size();
   in_txn_or_plain([&] {
+    wh_->txn_count.add(1);
     Customer* cust = d.customers[cidx].get();
     Guard g(d.mu, cfg_.flavor);
     think(cfg_.think_cycles);
@@ -203,6 +206,7 @@ void Engine::delivery(int dnum, std::uint64_t& rng) {
   District& d = district(dnum);
   const long carrier = 1 + static_cast<long>(rnd(rng) % 10);
   in_txn_or_plain([&] {
+    wh_->txn_count.add(1);
     Guard g(d.mu, cfg_.flavor);
     think(cfg_.think_cycles);
     const auto first = d.new_order_table->first_key();
@@ -220,6 +224,7 @@ void Engine::stock_level(int dnum, std::uint64_t& rng) {
   District& d = district(dnum);
   const long threshold = 9000 + static_cast<long>(rnd(rng) % 1000);
   in_txn_or_plain([&] {
+    wh_->txn_count.add(1);
     std::vector<long> item_ids;
     {
       Guard g(d.mu, cfg_.flavor);

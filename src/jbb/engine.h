@@ -47,7 +47,11 @@ struct JbbConfig {
 /// A unique-id source whose implementation varies by flavour.
 class Sequence {
  public:
-  explicit Sequence(long first, const char* name) : flavor_(Flavor::kJava), uid_(first, name), plain_(first) {}
+  // plain_ shares the counter arena with uid_'s cell: the Baseline flavour's
+  // pathology must be the *semantic* parent-level RMW on the counter, never
+  // accidental co-residency with unrelated cells.
+  explicit Sequence(long first, const char* name)
+      : flavor_(Flavor::kJava), uid_(first, name), plain_(first, name, sim::kCounterCell) {}
 
   void set_flavor(Flavor f) { flavor_ = f; }
 
@@ -115,7 +119,8 @@ class Sequence {
 /// paper's "several global counters" wrapped by the Atomos Open step).
 class Accumulator {
  public:
-  explicit Accumulator(const char* name) : flavor_(Flavor::kJava), cc_(0, name), plain_(0) {}
+  explicit Accumulator(const char* name)
+      : flavor_(Flavor::kJava), cc_(0, name), plain_(0, name, sim::kCounterCell) {}
 
   void set_flavor(Flavor f) { flavor_ = f; }
 
@@ -170,13 +175,22 @@ struct District {
 struct Warehouse {
   explicit Warehouse(Flavor flavor, std::unique_ptr<jstd::Map<long, History*>> history)
       : ytd("Warehouse.ytd"), next_history(1, "Warehouse.nextHistory"),
-        history_table(std::move(history)) {
+        txn_count("Warehouse.txnCount"), history_table(std::move(history)) {
     next_history.set_flavor(flavor);
     ytd.set_flavor(flavor);
+    txn_count.set_flavor(flavor);
   }
 
   Accumulator ytd;
   Sequence next_history;
+  /// SPECjbb's per-warehouse transaction statistic: every operation bumps it
+  /// inside its coarse transaction (the TransactionManager counts each
+  /// processed transaction toward the warehouse's score).  With one shared
+  /// warehouse this is the paper's canonical "global counter": under
+  /// Baseline the parent-level RMW makes EVERY pair of concurrent
+  /// operations conflict; the Atomos Open step moves it (with the UID and
+  /// YTD counters) into open-nested children.
+  Accumulator txn_count;
   std::unique_ptr<jstd::Map<long, History*>> history_table;
   std::vector<std::unique_ptr<Stock>> stock;  // indexed by item id
   atomos::Mutex mu;  // lock-mode guard for warehouse-wide state

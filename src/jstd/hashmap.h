@@ -25,13 +25,17 @@ class HashMap final : public Map<K, V> {
  public:
   /// `initial_buckets` should exceed the expected population / load factor
   /// when resize-under-transaction is not part of the experiment.
-  /// `size_label` names the contended size field in TAPE profiles and
-  /// txtrace conflict reports (e.g. "historyTable.size" for the fig4 map).
+  /// `size_label` / `table_label` name the contended metadata cells in TAPE
+  /// profiles and txtrace conflict reports (e.g. "historyTable.size" /
+  /// "historyTable.table" for the fig4 map).  Both cells are read by every
+  /// operation, so they live line-isolated in the metadata arena
+  /// (sim::kMetaCell) — never co-resident with counters or element cells.
   explicit HashMap(std::size_t initial_buckets = 16, float load_factor = 0.75F,
-                   const char* size_label = "HashMap.size")
+                   const char* size_label = "HashMap.size",
+                   const char* table_label = "HashMap.table")
       : load_factor_(load_factor),
-        size_(0, size_label),
-        table_(new Table(round_up_pow2(initial_buckets))) {}
+        size_(0, size_label, sim::kMetaCell),
+        table_(new Table(round_up_pow2(initial_buckets)), table_label, sim::kMetaCell) {}
 
   ~HashMap() override {
     Table* t = table_.unsafe_peek();

@@ -15,7 +15,10 @@ namespace jstd {
 template <class T>
 class LinkedQueue final : public Queue<T> {
  public:
-  LinkedQueue() : size_(0, "LinkedQueue.size") {
+  LinkedQueue()
+      : head_(nullptr, "LinkedQueue.head", sim::kMetaCell),
+        tail_(nullptr, "LinkedQueue.tail", sim::kMetaCell),
+        size_(0, "LinkedQueue.size", sim::kMetaCell) {
     Node* dummy = new Node(T{});
     head_ = dummy;
     tail_ = dummy;
@@ -67,6 +70,8 @@ class LinkedQueue final : public Queue<T> {
     atomos::Shared<Node*> next;
   };
 
+  // Queue metadata: every put/poll reads head_ or tail_, so all three cells
+  // are line-isolated in the metadata arena.
   atomos::Shared<Node*> head_;  // dummy node
   atomos::Shared<Node*> tail_;
   atomos::Shared<long> size_;

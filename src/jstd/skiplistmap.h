@@ -27,7 +27,7 @@ class SkipListMap final : public SortedMap<K, V> {
   static constexpr int kMaxLevel = 16;
 
   explicit SkipListMap(Compare cmp = Compare(), std::uint64_t seed = 0x9e3779b9)
-      : cmp_(cmp), rng_(seed), size_(0, "SkipListMap.size"),
+      : cmp_(cmp), rng_(seed), size_(0, "SkipListMap.size", sim::kMetaCell),
         head_(new Node(K{}, V{}, kMaxLevel)) {}  // sentinel; key unused
 
   ~SkipListMap() override {

@@ -23,11 +23,14 @@ template <class K, class V, class Compare = std::less<K>>
 class TreeMap final : public SortedMap<K, V> {
  public:
   /// `size_label`/`root_label` name the tree's contended fields in TAPE
-  /// profiles and txtrace conflict reports (e.g. "orderTable.size").
+  /// profiles and txtrace conflict reports (e.g. "orderTable.size").  Both
+  /// metadata cells are line-isolated (sim::kMetaCell): every operation
+  /// reads root_, so it must never false-share with counters or node cells.
   explicit TreeMap(Compare cmp = Compare(),
                    const char* size_label = "TreeMap.size",
                    const char* root_label = "TreeMap.root")
-      : cmp_(cmp), size_(0, size_label), root_(nullptr, root_label),
+      : cmp_(cmp), size_(0, size_label, sim::kMetaCell),
+        root_(nullptr, root_label, sim::kMetaCell),
         node_label_("TreeMap.node") {}
 
   ~TreeMap() override { destroy(root_.unsafe_peek()); }

@@ -18,14 +18,19 @@ Engine::Engine(const Config& cfg)
     throw std::invalid_argument("Engine: num_cpus must be in [1,32]");
   for (int i = 0; i < cfg.num_cpus; ++i) cpus_[static_cast<std::size_t>(i)].id_ = i;
   // Each simulation lays out its Shared cells / lock words from the same
-  // virtual base, making cycle totals independent of host memory layout.
-  va_reset();
+  // arena bases, making cycle totals independent of host memory layout.
+  // Passing `this` stamps the calling thread's cursors with their owner so
+  // cross-thread construction (which would alias addresses) is detectable.
+  va_reset(this);
+  detail::va_live_engines.fetch_add(1, std::memory_order_relaxed);
 }
 
 Engine::~Engine() {
   // If run() was abandoned with live fibers (e.g. an exception inside the
   // scheduler), unwind them so their RAII state is released.
   kill_all_suspended();
+  detail::va_live_engines.fetch_sub(1, std::memory_order_relaxed);
+  va_owner_destroyed(this);
 }
 
 void Engine::kill_all_suspended() {

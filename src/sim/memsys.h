@@ -21,6 +21,7 @@
 #include "sim/config.h"
 #include "sim/flat_map.h"
 #include "sim/stats.h"
+#include "sim/vaddr.h"
 
 namespace trace {
 class Tracer;
@@ -34,6 +35,11 @@ using LineAddr = std::uint64_t;
 constexpr LineAddr line_of(std::uintptr_t addr) {
   return static_cast<LineAddr>(addr) >> Config::kLineShift;
 }
+
+// The arena allocator's line-isolation arithmetic (sim/vaddr.h) must agree
+// with the cost model's line granularity.
+static_assert(kVaLineBytes == (std::uintptr_t{1} << Config::kLineShift),
+              "sim::kVaLineBytes out of sync with Config::kLineShift");
 
 /// Shared split-transaction bus: a single resource with queuing.
 class Bus {

@@ -1,4 +1,5 @@
-// Deterministic virtual addresses for simulated shared memory.
+// Deterministic virtual addresses for simulated shared memory, segregated
+// into named arenas with per-cell line-isolation classes.
 //
 // The simulator's cost model is address-driven: line_of(addr) decides cache
 // sets, false sharing, and conflict granularity.  Using *host* heap addresses
@@ -6,26 +7,57 @@
 // layout — recompiling (or even linking in an unrelated object) shifted every
 // malloc and with it every cycle total.  Instead, each simulated memory word
 // (a Shared<T> cell or a Mutex lock word) is assigned a virtual address from
-// this bump allocator in construction order.
+// a bump allocator in construction order.
+//
+// WHY ARENAS (the fig4 lesson).  A single bump counter packs cells onto
+// 64-byte lines by raw construction adjacency, so a collection's dispatch
+// pointer could land on the same virtual line as an open-nested counter
+// constructed just after it.  In the SPECjbb harness that put the
+// historyTable table pointer — read by every Payment parent — on the line of
+// the warehouse open-nested counters, so every counter child's commit killed
+// every parent mid-flight: a feedback storm that collapsed Atomos Open to
+// 0.00x at 32 CPUs (see EXPERIMENTS.md, fig4 case study).  Conflict
+// detection must follow the abstraction's sharing structure, not accidental
+// layout.  Cells are therefore placed by *memory class*:
+//
+//  * Arena::kMeta    — collection metadata (dispatch pointers, size fields);
+//  * Arena::kCounter — open-nested / semantic counters;
+//  * Arena::kLock    — sim::Mutex lock words;
+//  * Arena::kData    — bulk element cells (nodes, buckets, entity fields).
+//
+// Each arena owns a disjoint, construction-order-deterministic address
+// range.  Within an arena a cell is either Isolation::kPacked (eight words
+// per line, false sharing modelled by adjacency — the default, so capacity
+// and miss modelling of bulk data is unchanged) or Isolation::kLineIsolated
+// (the cell gets a private 64-byte line; nothing else is ever co-resident).
 //
 // Consequences, all deliberate:
 //  * cycle totals are a pure function of the workload (binary- and
 //    machine-independent), so golden-cycle tests and the CI perf gate can
-//    pin them exactly;
-//  * false sharing is modelled by construction adjacency: eight words per
-//    64-byte virtual line, in allocation order;
-//  * virtual addresses are dense and small, so the TM layer can index a
-//    flat reader directory by (line - base) instead of hashing.
+//    pin them exactly — arena layout is itself a pure function of the
+//    workload's construction order, byte-identical for any --jobs N;
+//  * false sharing between *packed* cells is modelled by construction
+//    adjacency, as before;
+//  * virtual addresses stay dense and small: isolated arenas sit at low
+//    addresses with fixed spans and the data arena comes last, so the TM
+//    layer's flat reader directory (indexed by line - base) grows only with
+//    real data-arena allocation.
 //
-// The counter is reset by each Engine's constructor.  Invariant: simulated
-// cells must be constructed after the Engine that simulates them (every
-// harness and test already does Engine -> Runtime -> data), and never reused
-// under a later Engine.  Addresses are never handed out twice within one
-// simulation, so there is no ABA on line identity.
+// The cursors are reset by each Engine's constructor.  Invariant: simulated
+// cells must be constructed on the Engine's own host thread, after the
+// Engine that simulates them, and never reused under a later Engine.  The
+// cursors are thread_local (host-parallel sweeps run one Engine per worker
+// thread), so a cell constructed on a *different* thread than its Engine
+// would silently draw from a stale cursor and alias addresses — TXCC_CHECKED
+// audits exactly that (foreign-va-alloc), and debug builds assert it.
 #pragma once
 
+#include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <stdexcept>
 
 namespace sim {
 
@@ -33,19 +65,184 @@ namespace sim {
 /// never be confused with a null pointer.
 inline constexpr std::uintptr_t kVaBase = std::uintptr_t{1} << 20;
 
+/// Bytes per virtual cache line.  Must agree with Config::kLineShift (the
+/// cross-check static_assert lives in sim/memsys.h, which sees both).
+inline constexpr std::uintptr_t kVaLineBytes = 64;
+
+/// Named address-space arenas, in ascending base-address order.  kData is
+/// last so the flat reader directory's high-water mark tracks real data
+/// allocation instead of the fixed spans of the small arenas.
+enum class Arena : std::uint8_t {
+  kMeta = 0,     ///< collection metadata: dispatch pointers, size fields
+  kCounter = 1,  ///< open-nested / semantic counters
+  kLock = 2,     ///< sim::Mutex lock words
+  kData = 3,     ///< bulk element cells (default)
+};
+inline constexpr std::size_t kArenaCount = 4;
+
+/// Line-placement class within an arena.
+enum class Isolation : std::uint8_t {
+  kPacked,        ///< bump-packed, eight words per line (models false sharing)
+  kLineIsolated,  ///< private 64-byte line; nothing else ever co-resident
+};
+
+/// An (arena, isolation) pair — the "memory class" a cell declares.
+struct MemClass {
+  Arena arena = Arena::kData;
+  Isolation iso = Isolation::kPacked;
+};
+
+// Named memory classes used throughout jstd/core/jbb.  Hot single-cell
+// state is line-isolated; bulk data stays packed.
+inline constexpr MemClass kDataCell{Arena::kData, Isolation::kPacked};
+inline constexpr MemClass kMetaCell{Arena::kMeta, Isolation::kLineIsolated};
+inline constexpr MemClass kCounterCell{Arena::kCounter, Isolation::kLineIsolated};
+inline constexpr MemClass kLockWord{Arena::kLock, Isolation::kLineIsolated};
+
+/// Fixed span of each arena.  The isolated arenas hold 16Ki private lines
+/// each — about 6x the hungriest workload in the repo (SPECjbb Java mode:
+/// ~2700 per-object lock words) — and overflow is a hard, deterministic
+/// error (never a silent collision).  kData is effectively unbounded.  The
+/// spans are kept small on purpose: the TM reader directory is a flat array
+/// indexed from kVaBase, so every byte of fixed span ahead of the data
+/// arena is index offset it pays for.
+inline constexpr std::uintptr_t kArenaSpan[kArenaCount] = {
+    std::uintptr_t{1} << 20,  // kMeta:    1 MiB = 16384 isolated lines
+    std::uintptr_t{1} << 20,  // kCounter: 1 MiB
+    std::uintptr_t{1} << 20,  // kLock:    1 MiB
+    std::uintptr_t{1} << 32,  // kData:    4 GiB
+};
+
+/// First address of `arena` (arenas are laid out back-to-back from kVaBase).
+constexpr std::uintptr_t arena_base(Arena arena) {
+  std::uintptr_t b = kVaBase;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(arena); ++i) b += kArenaSpan[i];
+  return b;
+}
+
+/// One-past-the-last address of `arena`.
+constexpr std::uintptr_t arena_limit(Arena arena) {
+  return arena_base(arena) + kArenaSpan[static_cast<std::size_t>(arena)];
+}
+
+static_assert(arena_base(Arena::kMeta) == kVaBase,
+              "reader-directory line base assumes the first arena starts at kVaBase");
+static_assert(arena_base(Arena::kMeta) % kVaLineBytes == 0);
+static_assert(arena_base(Arena::kCounter) % kVaLineBytes == 0);
+static_assert(arena_base(Arena::kLock) % kVaLineBytes == 0);
+static_assert(arena_base(Arena::kData) % kVaLineBytes == 0);
+
 namespace detail {
-inline thread_local std::uintptr_t va_next = kVaBase;
+
+/// Per-host-thread allocator state: one bump cursor per arena plus the
+/// owning Engine (for the cross-thread construction audit).  thread_local
+/// so concurrent sweep points on different host threads stay independent.
+struct VaState {
+  std::uintptr_t next[kArenaCount] = {arena_base(Arena::kMeta), arena_base(Arena::kCounter),
+                                      arena_base(Arena::kLock), arena_base(Arena::kData)};
+  const void* owner = nullptr;  ///< Engine that last reset this thread's cursors
+  bool owner_live = false;      ///< false once that Engine is destroyed
+};
+inline thread_local VaState va_state;
+
+/// Number of live Engines process-wide; maintained by Engine's ctor/dtor.
+/// Used only to scope the cross-thread audit: allocating with no Engine
+/// alive anywhere (unit tests constructing bare cells) is legitimate.
+inline std::atomic<long> va_live_engines{0};
+
+inline std::uint64_t& va_foreign_allocs_ref() {
+  thread_local std::uint64_t n = 0;
+  return n;
+}
+
+/// True when allocating on this thread cannot alias another simulation's
+/// addresses: either this thread's cursors are owned by a live Engine, or
+/// no Engine is live anywhere (engine-less setup/unit-test code).
+inline bool va_owner_ok() {
+  return va_state.owner_live || va_live_engines.load(std::memory_order_relaxed) == 0;
+}
+
+inline void va_audit_alloc() {
+#if defined(TXCC_CHECKED) && TXCC_CHECKED
+  if (!va_owner_ok()) {
+    if (++va_foreign_allocs_ref() <= 8) {
+      std::fprintf(stderr,
+                   "[txcc-audit] foreign-va-alloc: simulated cell constructed on a host "
+                   "thread whose va cursors are not owned by a live Engine (stale owner "
+                   "%p); addresses may alias another simulation's\n",
+                   va_state.owner);
+    }
+  }
+#endif
+}
+
 }  // namespace detail
 
-/// Allocates `bytes` (rounded up to a word) of simulated address space.
-inline std::uintptr_t va_alloc(std::size_t bytes) {
-  const std::uintptr_t a = detail::va_next;
-  detail::va_next += (bytes + 7u) & ~static_cast<std::uintptr_t>(7u);
+/// Count of foreign (cross-thread) allocations observed on the calling host
+/// thread.  Only ever non-zero under TXCC_CHECKED; surfaced through
+/// atomos::audit as Check::kForeignVaAlloc.
+inline std::uint64_t va_foreign_alloc_count() { return detail::va_foreign_allocs_ref(); }
+inline void va_foreign_alloc_reset() { detail::va_foreign_allocs_ref() = 0; }
+
+/// Allocates `bytes` of simulated address space from `arena`.
+///
+///  * kPacked: word-rounded bump allocation — adjacent cells share lines.
+///  * kLineIsolated: the cell starts on a fresh 64-byte line and the cursor
+///    skips to the next line boundary afterwards, so no other cell is ever
+///    resident on the cell's line(s).
+///
+/// Overflowing an arena throws (deterministically) rather than bleeding
+/// into the neighbouring arena.
+inline std::uintptr_t va_alloc(std::size_t bytes, Arena arena, Isolation iso) {
+#if !(defined(TXCC_CHECKED) && TXCC_CHECKED)
+  // Checked builds count-and-report instead (va_audit_alloc), so negative
+  // tests can observe the violation; plain debug builds hard-stop.
+  assert(detail::va_owner_ok() &&
+         "simulated cell constructed on a different host thread than its Engine");
+#endif
+  detail::va_audit_alloc();
+  const auto ai = static_cast<std::size_t>(arena);
+  std::uintptr_t& next = detail::va_state.next[ai];
+  std::uintptr_t a = next;
+  std::uintptr_t end;
+  if (iso == Isolation::kLineIsolated) {
+    a = (a + kVaLineBytes - 1) & ~(kVaLineBytes - 1);
+    end = (a + bytes + kVaLineBytes - 1) & ~(kVaLineBytes - 1);
+  } else {
+    end = a + ((bytes + 7u) & ~static_cast<std::uintptr_t>(7u));
+  }
+  if (end > arena_limit(arena)) throw std::length_error("va_alloc: arena span exhausted");
+  next = end;
   return a;
 }
 
-/// Rewinds the allocator; called by Engine's constructor so each simulation
-/// lays out its cells from the same base.
-inline void va_reset() { detail::va_next = kVaBase; }
+inline std::uintptr_t va_alloc(std::size_t bytes, MemClass mc) {
+  return va_alloc(bytes, mc.arena, mc.iso);
+}
+
+/// Legacy form: packed allocation from the bulk-data arena.
+inline std::uintptr_t va_alloc(std::size_t bytes) {
+  return va_alloc(bytes, Arena::kData, Isolation::kPacked);
+}
+
+/// Rewinds every arena cursor on the calling thread; called by Engine's
+/// constructor (passing itself as `owner`) so each simulation lays out its
+/// cells from the same bases.
+inline void va_reset(const void* owner = nullptr) {
+  detail::VaState& st = detail::va_state;
+  st.next[0] = arena_base(Arena::kMeta);
+  st.next[1] = arena_base(Arena::kCounter);
+  st.next[2] = arena_base(Arena::kLock);
+  st.next[3] = arena_base(Arena::kData);
+  st.owner = owner;
+  st.owner_live = owner != nullptr;
+}
+
+/// Called by Engine's destructor: if this thread's cursors are owned by the
+/// dying Engine, mark them stale so later allocations (which would silently
+/// reuse addresses) are auditable.
+inline void va_owner_destroyed(const void* owner) {
+  if (detail::va_state.owner == owner) detail::va_state.owner_live = false;
+}
 
 }  // namespace sim

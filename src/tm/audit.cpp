@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "sim/vaddr.h"
 #include "trace/tracer.h"
 
 namespace atomos::audit {
@@ -67,14 +68,20 @@ void reset() {
   s.held.clear();
   s.counts.fill(0);
   s.findings.clear();
+  sim::va_foreign_alloc_reset();
   // s.cells deliberately kept: it tracks Shared object lifetime, not
   // transactions, and the objects are still alive across a reset().
 }
 
-std::uint64_t count(Check c) { return st().counts[static_cast<std::size_t>(c)]; }
+std::uint64_t count(Check c) {
+  // Detected at the sim layer (sim/vaddr.h) so the allocator need not link
+  // against the TM auditor; surfaced through the common Check interface.
+  if (c == Check::kForeignVaAlloc) return sim::va_foreign_alloc_count();
+  return st().counts[static_cast<std::size_t>(c)];
+}
 
 std::uint64_t total() {
-  std::uint64_t n = 0;
+  std::uint64_t n = sim::va_foreign_alloc_count();
   for (const auto c : st().counts) n += c;
   return n;
 }

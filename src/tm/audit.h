@@ -50,6 +50,12 @@ enum class Check {
   kNakedStore,
   kLateProfileLabel,
   kTornTrace,
+  /// A simulated cell was constructed on a host thread whose va arena
+  /// cursors are not owned by a live Engine (while Engines are live
+  /// elsewhere): the cell draws from a stale thread_local cursor and can
+  /// alias another simulation's addresses.  Detected in sim::va_alloc
+  /// (sim/vaddr.h); the count lives there and is surfaced here.
+  kForeignVaAlloc,
   kChecks  // count sentinel
 };
 

@@ -45,12 +45,24 @@ class AggressiveRetry final : public ContentionManager {
 
 /// Karma-flavoured: repeatedly aborted transactions back off *less* so they
 /// eventually win against shorter transactions (priority via persistence).
+///
+/// The window is jittered per CPU like PoliteBackoff: the pure
+/// `16 << max(0, 6-attempt)` formula ignored `cpu`, so equally-aborted CPUs
+/// computed identical backoffs, restarted in deterministic lockstep, and
+/// re-collided on every retry (see ContentionTest.KarmaLockstepCollides).
 class KarmaBackoff final : public ContentionManager {
  public:
-  std::uint64_t backoff_cycles(int, int attempt) override {
+  std::uint64_t backoff_cycles(int cpu, int attempt) override {
     const int shift = std::max(0, 6 - attempt);  // shrink with each defeat
-    return 16ULL << shift;
+    const std::uint64_t window = 16ULL << shift;
+    std::uint64_t x = state_ * 6364136223846793005ULL + 1442695040888963407ULL +
+                      static_cast<std::uint64_t>(cpu);
+    state_ = x;
+    return window + (x >> 33) % (window + 1);
   }
+
+ private:
+  std::uint64_t state_ = 0x9e3779b97f4a7c15ULL;
 };
 
 }  // namespace atomos

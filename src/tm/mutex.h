@@ -36,7 +36,9 @@ class Mutex {
 
   int owner_ = -1;                 // virtual CPU holding the lock
   std::deque<int> waiters_;        // parked CPUs, FIFO
-  std::uintptr_t vaddr_ = sim::va_alloc(8);  // timed address of the lock word
+  // Timed address of the lock word: lock-arena, line-isolated, so lock
+  // ping-pong never false-shares with data or with another lock.
+  std::uintptr_t vaddr_ = sim::va_alloc(8, sim::kLockWord);
 };
 
 /// RAII guard (CP.20: use RAII, never plain lock()/unlock()).

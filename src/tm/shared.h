@@ -39,16 +39,23 @@ class Shared {
   static_assert(sizeof(T) <= 8, "Shared<T> holds at most a machine word");
 
  public:
-  Shared() : v_{}, va_(sim::va_alloc(sizeof(T))) {
+  /// `mc` selects the cell's memory class (sim/vaddr.h): which arena the
+  /// cell's virtual address comes from and whether it gets a private cache
+  /// line.  Bulk element cells keep the packed data-arena default; hot
+  /// metadata and counter cells declare sim::kMetaCell / sim::kCounterCell.
+  explicit Shared(sim::MemClass mc) : v_{}, va_(sim::va_alloc(sizeof(T), mc)) {
     audit::note_shared(reinterpret_cast<std::uintptr_t>(&v_), sizeof(T));
   }
 
-  /// `name` (optional) labels this cell's cache line for TAPE-style conflict
-  /// profiling in the active Runtime's profile; pass a string with static
-  /// storage duration.  The label is recorded only when a Runtime exists and
-  /// its profile is already enabled — enable profiling before constructing
+  Shared() : Shared(sim::kDataCell) {}
+
+  /// `name` (optional) labels this cell for TAPE-style conflict profiling in
+  /// the active Runtime's profile; pass a string with static storage
+  /// duration.  The label is recorded only when a Runtime exists and its
+  /// profile is already enabled — enable profiling before constructing
   /// labelled cells (ordering contract in tm/profile.h).
-  explicit Shared(T v, const char* name = nullptr) : v_(v), va_(sim::va_alloc(sizeof(T))) {
+  explicit Shared(T v, const char* name = nullptr, sim::MemClass mc = sim::kDataCell)
+      : v_(v), va_(sim::va_alloc(sizeof(T), mc)) {
     if (name != nullptr) {
       if (Runtime* rt = Runtime::current_or_null()) {
         if (rt->profile().enabled() && sim::Engine::in_worker()) {

@@ -78,18 +78,18 @@ TEST(GoldenCycles, Fig1TestMapSmall) {
       atomos_series("Atomos TransactionalMap", p, make_wrapped),
   };
   static const GoldenRow kFig1Golden[] = {
-      {"Java HashMap", 1, 647146ULL},
-      {"Java HashMap", 2, 333908ULL},
-      {"Java HashMap", 4, 168498ULL},
-      {"Java HashMap", 8, 85640ULL},
-      {"Atomos HashMap", 1, 647571ULL},
-      {"Atomos HashMap", 2, 328095ULL},
-      {"Atomos HashMap", 4, 174317ULL},
-      {"Atomos HashMap", 8, 88232ULL},
-      {"Atomos TransactionalMap", 1, 666615ULL},
-      {"Atomos TransactionalMap", 2, 335549ULL},
-      {"Atomos TransactionalMap", 4, 169123ULL},
-      {"Atomos TransactionalMap", 8, 85182ULL},
+      {"Java HashMap", 1, 647182ULL},
+      {"Java HashMap", 2, 333753ULL},
+      {"Java HashMap", 4, 168568ULL},
+      {"Java HashMap", 8, 85720ULL},
+      {"Atomos HashMap", 1, 647607ULL},
+      {"Atomos HashMap", 2, 329155ULL},
+      {"Atomos HashMap", 4, 170645ULL},
+      {"Atomos HashMap", 8, 89292ULL},
+      {"Atomos TransactionalMap", 1, 666651ULL},
+      {"Atomos TransactionalMap", 2, 335469ULL},
+      {"Atomos TransactionalMap", 4, 169005ULL},
+      {"Atomos TransactionalMap", 8, 85448ULL},
   };
   check_goldens("fig1", series, kFig1Golden, std::size(kFig1Golden));
 }
@@ -106,18 +106,18 @@ TEST(GoldenCycles, Fig2TestSortedMapSmall) {
       atomos_series("Atomos TransactionalSortedMap", p, make_wrapped),
   };
   static const GoldenRow kFig2Golden[] = {
-      {"Java TreeMap", 1, 657711ULL},
-      {"Java TreeMap", 2, 342446ULL},
-      {"Java TreeMap", 4, 176361ULL},
-      {"Java TreeMap", 8, 102828ULL},
-      {"Atomos TreeMap", 1, 658730ULL},
-      {"Atomos TreeMap", 2, 362507ULL},
-      {"Atomos TreeMap", 4, 201598ULL},
-      {"Atomos TreeMap", 8, 126940ULL},
-      {"Atomos TransactionalSortedMap", 1, 736748ULL},
-      {"Atomos TransactionalSortedMap", 2, 379487ULL},
-      {"Atomos TransactionalSortedMap", 4, 198638ULL},
-      {"Atomos TransactionalSortedMap", 8, 105327ULL},
+      {"Java TreeMap", 1, 657765ULL},
+      {"Java TreeMap", 2, 341828ULL},
+      {"Java TreeMap", 4, 174911ULL},
+      {"Java TreeMap", 8, 96235ULL},
+      {"Atomos TreeMap", 1, 658742ULL},
+      {"Atomos TreeMap", 2, 352480ULL},
+      {"Atomos TreeMap", 4, 195291ULL},
+      {"Atomos TreeMap", 8, 109805ULL},
+      {"Atomos TransactionalSortedMap", 1, 736760ULL},
+      {"Atomos TransactionalSortedMap", 2, 378132ULL},
+      {"Atomos TransactionalSortedMap", 4, 197208ULL},
+      {"Atomos TransactionalSortedMap", 8, 103397ULL},
   };
   check_goldens("fig2", series, kFig2Golden, std::size(kFig2Golden));
 }

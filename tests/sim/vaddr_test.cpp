@@ -1,0 +1,145 @@
+// Arena-segregated virtual addressing (sim/vaddr.h): disjoint ranges,
+// line-isolation guarantees, packing behaviour, determinism, overflow.
+#include "sim/vaddr.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using sim::Arena;
+using sim::Isolation;
+
+constexpr std::uintptr_t kLine = sim::kVaLineBytes;
+
+std::uintptr_t line_of(std::uintptr_t a) { return a / kLine; }
+
+TEST(VaddrTest, ArenaRangesAreDisjointAndOrdered) {
+  const Arena all[] = {Arena::kMeta, Arena::kCounter, Arena::kLock, Arena::kData};
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_LT(sim::arena_base(all[i]), sim::arena_limit(all[i]));
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      // Later arenas begin at or after the earlier arena's limit.
+      EXPECT_GE(sim::arena_base(all[j]), sim::arena_limit(all[i]));
+    }
+  }
+  EXPECT_EQ(sim::arena_base(Arena::kMeta), sim::kVaBase);
+}
+
+TEST(VaddrTest, AllocationsLandInTheirArena) {
+  sim::va_reset();
+  for (Arena a : {Arena::kMeta, Arena::kCounter, Arena::kLock, Arena::kData}) {
+    for (Isolation iso : {Isolation::kPacked, Isolation::kLineIsolated}) {
+      const std::uintptr_t p = sim::va_alloc(8, a, iso);
+      EXPECT_GE(p, sim::arena_base(a));
+      EXPECT_LT(p, sim::arena_limit(a));
+    }
+  }
+  sim::va_reset();
+}
+
+TEST(VaddrTest, LineIsolatedCellsAreNeverCoResident) {
+  sim::va_reset();
+  // Interleave isolated and packed allocations of several sizes in every
+  // arena; no line of an isolated cell may host any other allocation.
+  struct Alloc {
+    std::uintptr_t addr;
+    std::size_t bytes;
+    bool isolated;
+  };
+  std::vector<Alloc> allocs;
+  const std::size_t sizes[] = {1, 8, 8, 64, 8, 128};
+  for (int round = 0; round < 50; ++round) {
+    for (Arena a : {Arena::kMeta, Arena::kCounter, Arena::kLock, Arena::kData}) {
+      const std::size_t bytes = sizes[static_cast<std::size_t>(round) % 6];
+      const bool iso = (round % 3) != 0;
+      allocs.push_back(Alloc{
+          sim::va_alloc(bytes, a, iso ? Isolation::kLineIsolated : Isolation::kPacked),
+          bytes, iso});
+    }
+  }
+  auto lines = [](const Alloc& al) {
+    std::set<std::uintptr_t> out;
+    for (std::uintptr_t l = line_of(al.addr); l <= line_of(al.addr + al.bytes - 1); ++l)
+      out.insert(l);
+    return out;
+  };
+  for (std::size_t i = 0; i < allocs.size(); ++i) {
+    if (!allocs[i].isolated) continue;
+    const auto mine = lines(allocs[i]);
+    for (std::size_t j = 0; j < allocs.size(); ++j) {
+      if (j == i) continue;
+      for (std::uintptr_t l : lines(allocs[j])) {
+        EXPECT_EQ(mine.count(l), 0u)
+            << "isolated alloc " << i << " shares line " << l << " with alloc " << j;
+      }
+    }
+  }
+  sim::va_reset();
+}
+
+TEST(VaddrTest, PackedCellsStillShareLinesByAdjacency) {
+  sim::va_reset();
+  // Eight words to a 64-byte line, in allocation order — the false-sharing
+  // model bulk data relies on must survive the arena split.
+  std::uintptr_t first = sim::va_alloc(8, Arena::kData, Isolation::kPacked);
+  for (int i = 1; i < 8; ++i) {
+    const std::uintptr_t p = sim::va_alloc(8, Arena::kData, Isolation::kPacked);
+    EXPECT_EQ(p, first + static_cast<std::uintptr_t>(i) * 8);
+    EXPECT_EQ(line_of(p), line_of(first));
+  }
+  EXPECT_NE(line_of(sim::va_alloc(8, Arena::kData, Isolation::kPacked)), line_of(first));
+  sim::va_reset();
+}
+
+TEST(VaddrTest, LegacyOverloadIsPackedData) {
+  sim::va_reset();
+  const std::uintptr_t a = sim::va_alloc(8);
+  const std::uintptr_t b = sim::va_alloc(8);
+  EXPECT_GE(a, sim::arena_base(Arena::kData));
+  EXPECT_LT(b, sim::arena_limit(Arena::kData));
+  EXPECT_EQ(b, a + 8);
+  sim::va_reset();
+}
+
+TEST(VaddrTest, DeterministicAcrossResetsAndThreads) {
+  auto layout = [] {
+    std::vector<std::uintptr_t> out;
+    sim::va_reset();
+    for (int i = 0; i < 64; ++i) {
+      out.push_back(sim::va_alloc(8, Arena::kMeta, Isolation::kLineIsolated));
+      out.push_back(sim::va_alloc(8, Arena::kCounter, Isolation::kLineIsolated));
+      out.push_back(sim::va_alloc(8, Arena::kLock, Isolation::kLineIsolated));
+      out.push_back(sim::va_alloc(16, Arena::kData, Isolation::kPacked));
+    }
+    sim::va_reset();
+    return out;
+  };
+  const auto on_main = layout();
+  EXPECT_EQ(on_main, layout());  // reset rewinds every cursor
+  // The cursors are thread_local: a fresh host thread running the same
+  // construction sequence must produce the identical layout (this is what
+  // makes --jobs N sweeps byte-identical to serial runs).
+  std::vector<std::uintptr_t> on_thread;
+  std::thread t([&] { on_thread = layout(); });
+  t.join();
+  EXPECT_EQ(on_main, on_thread);
+}
+
+TEST(VaddrTest, ArenaOverflowThrowsDeterministically) {
+  sim::va_reset();
+  const std::uintptr_t span = sim::arena_limit(Arena::kMeta) - sim::arena_base(Arena::kMeta);
+  const std::uintptr_t nlines = span / kLine;
+  for (std::uintptr_t i = 0; i < nlines; ++i)
+    sim::va_alloc(8, Arena::kMeta, Isolation::kLineIsolated);
+  EXPECT_THROW(sim::va_alloc(8, Arena::kMeta, Isolation::kLineIsolated), std::length_error);
+  // Other arenas are unaffected by the exhausted one.
+  EXPECT_NO_THROW(sim::va_alloc(8, Arena::kCounter, Isolation::kLineIsolated));
+  sim::va_reset();
+}
+
+}  // namespace

@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/lockers.h"
 #include "core/txmap.h"
@@ -307,6 +309,42 @@ TEST_F(CheckedRuntimeTest, RealTracedRunIsWellNested) {
   trace::clear_request();
   EXPECT_EQ(audit::count(audit::Check::kTornTrace), 0u)
       << (audit::reports().empty() ? "" : audit::reports().back());
+}
+
+// Cross-thread construction audit (sim/vaddr.h): building a simulated cell
+// on a host thread whose va cursors are not owned by a live Engine draws
+// from a stale (or never-reset) cursor and can alias another simulation's
+// addresses.  The audit is scoped so engine-less unit-test construction
+// stays legal: it fires only while an Engine is live *somewhere else*.
+TEST_F(CheckedRuntimeTest, ReportsForeignVaAlloc) {
+  std::atomic<int> stage{0};
+  std::thread holder([&] {
+    sim::Engine eng(tcc_cfg(1));  // owns *its* thread's cursors
+    stage.store(1);
+    while (stage.load() < 2) std::this_thread::yield();
+  });
+  while (stage.load() < 1) std::this_thread::yield();
+  EXPECT_EQ(audit::count(audit::Check::kForeignVaAlloc), 0u);
+  // This thread's cursors are not owned by the live Engine over there.
+  { Shared<int> foreign(7); }
+  EXPECT_EQ(audit::count(audit::Check::kForeignVaAlloc), 1u);
+  stage.store(2);
+  holder.join();
+}
+
+TEST_F(CheckedRuntimeTest, OwnThreadAndEngineLessVaAllocsAreSilent) {
+  // No Engine alive anywhere: bare-cell construction is legitimate setup.
+  { Shared<int> bare(1); }
+  EXPECT_EQ(audit::count(audit::Check::kForeignVaAlloc), 0u);
+  // Cells built on the Engine's own thread, after the Engine: legitimate.
+  {
+    sim::Engine eng(tcc_cfg(1));
+    Runtime rt(eng);
+    Shared<int> owned(2);
+    eng.spawn([&] { atomically([&] { owned.set(3); }); });
+    eng.run();
+  }
+  EXPECT_EQ(audit::count(audit::Check::kForeignVaAlloc), 0u);
 }
 
 }  // namespace

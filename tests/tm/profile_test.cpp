@@ -1,0 +1,92 @@
+// Per-cell TAPE label tests (tm/profile.h): the label map must report every
+// labelled cell resident on a line, not just the last writer — the original
+// last-writer-wins per-line map mislabelled the fig4 culprit line as
+// "Warehouse.nextHistory" when the hot cell was historyTable's table
+// pointer (see EXPERIMENTS.md).
+#include "tm/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace atomos {
+namespace {
+
+constexpr std::uintptr_t kBase = 0x200000;  // arbitrary line-aligned address
+
+TEST(ProfileTest, SingleCellKeepsItsExactName) {
+  Profile p;
+  p.enable(true);
+  p.note_range(kBase, 8, "District.nextOrder");
+  const char* got = p.find(sim::line_of(kBase));
+  ASSERT_NE(got, nullptr);
+  EXPECT_STREQ(got, "District.nextOrder");
+  EXPECT_EQ(p.find(sim::line_of(kBase) + 1), nullptr);
+}
+
+TEST(ProfileTest, CoResidentCellsAreAllReported) {
+  Profile p;
+  p.enable(true);
+  // Three labelled cells on one 64-byte line — the fig4 accident in
+  // miniature.  Every name must appear, in construction order, regardless
+  // of which cell was labelled last.
+  p.note_range(kBase + 0, 8, "historyTable.table");
+  p.note_range(kBase + 8, 8, "Warehouse.ytd");
+  p.note_range(kBase + 16, 8, "Warehouse.nextHistory");
+  const char* got = p.find(sim::line_of(kBase));
+  ASSERT_NE(got, nullptr);
+  EXPECT_STREQ(got, "historyTable.table+Warehouse.ytd+Warehouse.nextHistory");
+  // The joined pointer is stable across further lookups.
+  EXPECT_EQ(got, p.find(sim::line_of(kBase)));
+}
+
+TEST(ProfileTest, DuplicateNamesAreDeduplicated) {
+  Profile p;
+  p.enable(true);
+  // Eight packed node cells sharing one label and one line must not yield
+  // "TreeMap.node+TreeMap.node+...".
+  for (int i = 0; i < 8; ++i) p.note_range(kBase + 8 * static_cast<unsigned>(i), 8, "TreeMap.node");
+  p.note_range(kBase + 32, 8, "orderTable.size");
+  EXPECT_STREQ(p.find(sim::line_of(kBase)), "TreeMap.node+orderTable.size");
+}
+
+TEST(ProfileTest, LateLabelInvalidatesCachedJoin) {
+  Profile p;
+  p.enable(true);
+  p.note_range(kBase, 8, "a");
+  p.note_range(kBase + 8, 8, "b");
+  EXPECT_STREQ(p.find(sim::line_of(kBase)), "a+b");  // builds the cached join
+  p.note_range(kBase + 16, 8, "c");
+  EXPECT_STREQ(p.find(sim::line_of(kBase)), "a+b+c");
+}
+
+TEST(ProfileTest, MultiLineRangeCoversEveryLine) {
+  Profile p;
+  p.enable(true);
+  p.note_range(kBase + 56, 16, "straddler");  // crosses a line boundary
+  EXPECT_STREQ(p.find(sim::line_of(kBase)), "straddler");
+  EXPECT_STREQ(p.find(sim::line_of(kBase) + 1), "straddler");
+}
+
+TEST(ProfileTest, DisabledRecordsNothingAndForEachSeesJoins) {
+  Profile p;
+  p.note_range(kBase, 8, "ignored");  // disabled: silently dropped
+  EXPECT_EQ(p.find(sim::line_of(kBase)), nullptr);
+  p.enable(true);
+  p.note_range(kBase, 8, "x");
+  p.note_range(kBase + 8, 8, "y");
+  int lines = 0;
+  std::string seen;
+  p.for_each([&](sim::LineAddr, const char* name) {
+    ++lines;
+    seen = name;
+  });
+  EXPECT_EQ(lines, 1);
+  EXPECT_EQ(seen, "x+y");
+  p.clear();
+  EXPECT_EQ(p.find(sim::line_of(kBase)), nullptr);
+}
+
+}  // namespace
+}  // namespace atomos

@@ -30,14 +30,14 @@ bool fires_at(const std::vector<Finding>& fs, std::string_view rule, int line) {
                      [&](const Finding& f) { return f.rule == rule && f.line == line; });
 }
 
-TEST(TxlintRules, SixRulesRegistered) {
+TEST(TxlintRules, SevenRulesRegistered) {
   const auto& rs = rules();
-  ASSERT_EQ(rs.size(), 6u);
+  ASSERT_EQ(rs.size(), 7u);
   std::vector<std::string_view> names;
   for (const auto& r : rs) names.push_back(r.name);
   for (const char* want : {"shared-field", "raw-peek", "catch-swallow",
                            "unpaired-handler", "shared-value-capture",
-                           "trace-hook"}) {
+                           "trace-hook", "isolation-class"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), want), names.end()) << want;
   }
 }
@@ -231,6 +231,71 @@ TEST(TraceHookRule, QuietOutsideTraceNamespaceAndNonHookFunctions) {
       "struct U { void on_click() { items.push_back(2); } };\n"  // not trace::
       "}\n";
   EXPECT_TRUE(of_rule(scan(src), "trace-hook").empty());
+}
+
+// ---- isolation-class ----
+
+TEST(IsolationClassRule, FlagsUnclassifiedMetadataAndCounters) {
+  const std::string src =
+      "namespace jstd {\n"                                       // 1
+      "template <class K>\n"                                     // 2
+      "class ListMap {\n"                                        // 3
+      " public:\n"                                               // 4
+      "  ListMap() : size_(0), head_(nullptr) {}\n"              // 5
+      " private:\n"                                              // 6
+      "  struct Node { atomos::Shared<K> key; };\n"              // 7  node: exempt
+      "  atomos::Shared<long> size_;\n"                          // 8  <- unclassified
+      "  atomos::Shared<int*> head_;\n"                          // 9  <- unclassified
+      "};\n"                                                     // 10
+      "}\n"                                                      // 11
+      "namespace tcc {\n"                                        // 12
+      "class StatCounter {\n"                                    // 13
+      "  explicit StatCounter(long f) : v_(f) {}\n"              // 14
+      "  atomos::Shared<long> v_;\n"                             // 15 <- unclassified
+      "};\n"                                                     // 16
+      "}\n";
+  const auto fs = scan(src);
+  const auto ic = of_rule(fs, "isolation-class");
+  EXPECT_EQ(ic.size(), 3u);
+  EXPECT_TRUE(fires_at(fs, "isolation-class", 8));
+  EXPECT_TRUE(fires_at(fs, "isolation-class", 9));
+  EXPECT_TRUE(fires_at(fs, "isolation-class", 15));
+}
+
+TEST(IsolationClassRule, SatisfiedByAnyConstructionSiteNamingAMemoryClass) {
+  const std::string src =
+      "namespace jstd {\n"
+      "class ListMap {\n"
+      " public:\n"
+      "  ListMap() : size_(0, \"ListMap.size\", sim::kMetaCell) {}\n"
+      "  explicit ListMap(long n) : size_(n, nullptr, sim::kMetaCell) {}\n"
+      " private:\n"
+      "  atomos::Shared<long> size_;\n"
+      "};\n"
+      "}\n"
+      "namespace tcc {\n"
+      "class StatCounter {\n"
+      "  explicit StatCounter(long f) : v_(f, \"stat\", sim::kCounterCell) {}\n"
+      "  atomos::Shared<long> v_;\n"
+      "};\n"
+      "}\n";
+  EXPECT_TRUE(of_rule(scan(src), "isolation-class").empty());
+}
+
+TEST(IsolationClassRule, ExemptsNodeTypesOtherNamespacesAndNonSharedMembers) {
+  const std::string src =
+      "namespace jbb {\n"
+      "class Model { atomos::Shared<long> plain_; };\n"  // not jstd/tcc
+      "}\n"
+      "namespace jstd {\n"
+      "struct QueueNode { atomos::Shared<int> item; };\n"   // node type
+      "class MapIter { atomos::Shared<int> pos_; };\n"      // iterator
+      "class Registry { std::vector<int> rows_; };\n"       // no Shared members
+      "}\n"
+      "namespace tcc {\n"
+      "class TransactionalMap { atomos::Shared<long> gen_; };\n"  // not a counter
+      "}\n";
+  EXPECT_TRUE(of_rule(scan(src), "isolation-class").empty());
 }
 
 // ---- suppressions and options ----

@@ -1,0 +1,42 @@
+// BAD: collection metadata and open-nested counters constructed without an
+// explicit sim:: memory class.  Default construction draws from the packed
+// data arena, where construction adjacency decides line sharing — the exact
+// accident behind the fig4 Atomos Open violation storm (see EXPERIMENTS.md).
+#pragma once
+
+#include "tm/shared.h"
+
+namespace jstd {
+
+template <class K, class V>
+class PackedMap {
+ public:
+  PackedMap() : size_(0), root_(nullptr) {}  // no memory class anywhere
+
+  long size() const { return size_.get(); }
+
+ private:
+  struct Node {
+    atomos::Shared<K> key;      // ok: node cells are bulk data, packed default
+    atomos::Shared<Node*> next;
+  };
+
+  atomos::Shared<long> size_;   // BAD: hot metadata left in the data arena
+  atomos::Shared<Node*> root_;  // BAD: dispatch pointer left in the data arena
+};
+
+}  // namespace jstd
+
+namespace tcc {
+
+class PlainStatCounter {
+ public:
+  explicit PlainStatCounter(long first) : v_(first) {}  // no kCounterCell
+
+  void add(long d) { v_.set(v_.get() + d); }
+
+ private:
+  atomos::Shared<long> v_;  // BAD: open-nested counter outside kCounter arena
+};
+
+}  // namespace tcc

@@ -10,6 +10,12 @@ namespace jstd {
 template <class K, class V>
 class CleanList {
  public:
+  /// Collection metadata declares its memory class (isolation-class rule):
+  /// hot single-cell state goes to the line-isolated meta arena.
+  CleanList()
+      : size_(0, "CleanList.size", sim::kMetaCell),
+        head_(nullptr, "CleanList.head", sim::kMetaCell) {}
+
   long size() const { return size_.get(); }
 
   /// Oracle accessors named unsafe_* may peek at committed state.
