@@ -23,6 +23,7 @@
 
 #include "tm/audit.h"
 #include "tm/runtime.h"
+#include "tm/sem_events.h"
 
 namespace tcc {
 
@@ -42,6 +43,7 @@ class LockerSet {
     if (!contains(owner)) {
       owners_.push_back(owner);
       atomos::audit::lock_acquired(owner, this);
+      atomos::sem::lock_acquired(owner, this);
       if (auto* rt = atomos::Runtime::current_or_null()) rt->trace_sem_acquire(trace_id());
     }
   }
@@ -52,7 +54,14 @@ class LockerSet {
     if (tail != owners_.end()) {
       owners_.erase(tail, owners_.end());
       atomos::audit::lock_released(owner, this);
+      atomos::sem::lock_released(owner, this);
       if (auto* rt = atomos::Runtime::current_or_null()) rt->trace_sem_release(trace_id());
+    } else {
+      // Nothing to release: a stale prune already dropped it (benign) or
+      // the caller is double-releasing (the auditor / txmc oracle decides
+      // by owner liveness).
+      atomos::audit::lock_release_noop(owner, this);
+      atomos::sem::lock_release_noop(owner, this);
     }
   }
 
@@ -85,6 +94,7 @@ class LockerSet {
         ++it;
       } else {
         atomos::audit::lock_released(*it, this);  // settled owner: no-op audit
+        atomos::sem::lock_pruned(*it, this);
         it = owners_.erase(it);  // stale lock: owner already gone
       }
     }
@@ -108,7 +118,13 @@ class KeyLockTable {
 
   void unlock(const K& key, const atomos::TxnId& owner) {
     auto it = table_.find(key);
-    if (it == table_.end()) return;
+    if (it == table_.end()) {
+      // No locker set for the key at all: same double-release /
+      // release-without-acquire situation as LockerSet::remove's miss.
+      atomos::audit::lock_release_noop(owner, this);
+      atomos::sem::lock_release_noop(owner, this);
+      return;
+    }
     it->second.remove(owner);
     if (it->second.empty()) table_.erase(it);
   }
@@ -160,6 +176,7 @@ class RangeLockTable {
               const atomos::TxnId& owner, bool to_closed = false) {
     ranges_.push_back(Range{from, to, to_closed, owner});
     atomos::audit::lock_acquired(owner, this);
+    atomos::sem::lock_acquired(owner, this);
     if (auto* rt = atomos::Runtime::current_or_null()) rt->trace_sem_acquire(this);
     return std::prev(ranges_.end());
   }
@@ -174,6 +191,7 @@ class RangeLockTable {
   void unlock_all(const atomos::TxnId& owner) {
     if (ranges_.remove_if([&](const Range& r) { return r.owner == owner; }) > 0) {
       atomos::audit::locks_released_all(owner, this);
+      atomos::sem::locks_released_all(owner, this);
       if (auto* rt = atomos::Runtime::current_or_null()) rt->trace_sem_release(this);
     }
   }
@@ -194,6 +212,7 @@ class RangeLockTable {
         ++it;
       } else {
         atomos::audit::lock_released(it->owner, this);  // settled owner: no-op
+        atomos::sem::lock_pruned(it->owner, this);
         it = ranges_.erase(it);  // stale
       }
     }

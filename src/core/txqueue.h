@@ -33,7 +33,7 @@
 namespace tcc {
 
 template <class T>
-class TransactionalQueue final : public jstd::Channel<T> {
+class TransactionalQueue : public jstd::Channel<T> {
  public:
   explicit TransactionalQueue(std::unique_ptr<jstd::Queue<T>> inner,
                               const char* trace_name = nullptr)
@@ -139,7 +139,10 @@ class TransactionalQueue final : public jstd::Channel<T> {
   const jstd::Queue<T>& inner() const { return *inner_; }
   std::size_t empty_locker_count() const { return empty_lockers_.size(); }
 
- private:
+ protected:
+  // Subclassable (protected state, virtual handlers) so litmus mutants —
+  // e.g. a queue whose compensation drops elements — can override exactly
+  // one behavior; production code has no reason to subclass.
   struct LocalState {
     atomos::TxnId id{};
     bool registered = false;
@@ -194,7 +197,7 @@ class TransactionalQueue final : public jstd::Channel<T> {
 
   /// Applies the addBuffer; a producer making an empty queue non-empty
   /// violates every emptiness observer (Table 8: put "if now non-empty").
-  void commit_handler(int cpu) {
+  virtual void commit_handler(int cpu) {
     LocalState& ls = locals_[static_cast<std::size_t>(cpu)];
     charge_sem_op(ls.add_buffer.size() + 1);
     if (!ls.add_buffer.empty()) {
@@ -206,7 +209,9 @@ class TransactionalQueue final : public jstd::Channel<T> {
 
   /// Compensation: eagerly removed elements go back (order not preserved —
   /// the queue deliberately keeps no strict ordering across transactions).
-  void abort_handler(int cpu) {
+  virtual void abort_handler(int cpu) {
+    atomos::audit::compensation_run(cpu, this);
+    atomos::sem::compensation_run(this);
     LocalState& ls = locals_[static_cast<std::size_t>(cpu)];
     charge_sem_op(ls.remove_buffer.size() + 1);
     if (!ls.remove_buffer.empty()) {

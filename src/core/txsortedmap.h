@@ -65,6 +65,7 @@ class TransactionalSortedMap final
     return atomos::open_atomically([&] {
       charge_sem_op();
       first_lockers_.add(ls.id);
+      eflags(ls).first = true;
       return merged_first(ls);
     });
   }
@@ -77,6 +78,7 @@ class TransactionalSortedMap final
     return atomos::open_atomically([&] {
       charge_sem_op();
       last_lockers_.add(ls.id);
+      eflags(ls).last = true;
       return merged_last(ls);
     });
   }
@@ -157,6 +159,9 @@ class TransactionalSortedMap final
   }
 
   void abort_handler(int cpu) override {
+    // Does not chain to the Map handler, so report the compensation here.
+    atomos::audit::compensation_run(cpu, this);
+    atomos::sem::compensation_run(this);
     LocalState& ls = this->locals_[static_cast<std::size_t>(cpu)];
     charge_sem_op(ls.key_locks.size() + 2);
     release_sorted(ls);
@@ -211,10 +216,28 @@ class TransactionalSortedMap final
     return best;
   }
 
+  /// Endpoint-lock ownership flags per cpu, mirroring the base class's
+  /// size_locked/empty_locked guards: releases must be exact (a release
+  /// that finds nothing to release is a protocol violation the checked
+  /// build and txmc flag), so removal is guarded by these.
+  struct EndpointFlags {
+    bool first = false;
+    bool last = false;
+  };
+
+  EndpointFlags& eflags(const LocalState& ls) const {
+    const auto cpu = static_cast<std::size_t>(ls.id.cpu);
+    if (endpoint_flags_.size() <= cpu) endpoint_flags_.resize(cpu + 1);
+    return endpoint_flags_[cpu];
+  }
+
   void release_sorted(LocalState& ls) {
     range_lockers_.unlock_all(ls.id);
-    first_lockers_.remove(ls.id);
-    last_lockers_.remove(ls.id);
+    EndpointFlags& f = eflags(ls);
+    if (f.first) first_lockers_.remove(ls.id);
+    if (f.last) last_lockers_.remove(ls.id);
+    f.first = false;
+    f.last = false;
   }
 
   /// Ordered merged iterator over committed range ∩ buffer, growing a range
@@ -262,6 +285,7 @@ class TransactionalSortedMap final
             // Unbounded: exhaustion observes the LAST key (Table 4/5).
             m_->range_lockers_.extend(handle_, std::nullopt, false);
             m_->last_lockers_.add(ls_->id);
+            m_->eflags(*ls_).last = true;
           }
         });
       }
@@ -344,6 +368,7 @@ class TransactionalSortedMap final
   mutable RangeLockTable<K, Compare> range_lockers_;
   mutable LockerSet first_lockers_;
   mutable LockerSet last_lockers_;
+  mutable std::vector<EndpointFlags> endpoint_flags_;
 };
 
 }  // namespace tcc

@@ -1,0 +1,110 @@
+#include "mc/controller.h"
+
+#include <algorithm>
+
+namespace mc {
+
+int Controller::pick(const std::vector<int>& runnable) {
+  // Default policy, reproduced scheduler-side: smallest virtual clock,
+  // lowest cpu id on ties.  With no forced prefix this makes the decision
+  // tree identical to the engine's own min-clock schedule.
+  std::size_t def = 0;
+  for (std::size_t i = 1; i < runnable.size(); ++i) {
+    const std::uint64_t ci = eng_.cpu_clock(runnable[i]);
+    const std::uint64_t cd = eng_.cpu_clock(runnable[def]);
+    if (ci < cd) def = i;
+  }
+
+  std::size_t chosen = def;
+  if (runnable.size() >= 2) {
+    const std::size_t ord = capture_.executed.choices.size();
+    if (ord < forced_.choices.size()) {
+      const int want = forced_.choices[ord];
+      if (want >= 0 && static_cast<std::size_t>(want) < runnable.size()) {
+        chosen = static_cast<std::size_t>(want);
+      } else {
+        capture_.diverged = true;  // the tree changed under this prefix
+      }
+    }
+    capture_.executed.choices.push_back(static_cast<int>(chosen));
+    RunCapture::Branch b;
+    b.ord = ord;
+    b.quantum = capture_.quanta.size();
+    b.runnable = runnable;
+    b.chosen_index = static_cast<int>(chosen);
+    capture_.branches.push_back(std::move(b));
+  }
+
+  RunCapture::Quantum q;
+  q.cpu = runnable[chosen];
+  capture_.quanta.push_back(std::move(q));
+  return runnable[chosen];
+}
+
+void Controller::on_access(int cpu, sim::LineAddr line, bool /*is_write*/) {
+  if (capture_.quanta.empty()) return;
+  RunCapture::Quantum& q = capture_.quanta.back();
+  (void)cpu;
+  if (std::find(q.lines.begin(), q.lines.end(), line) == q.lines.end()) {
+    q.lines.push_back(line);
+  }
+}
+
+void Controller::on_txn_sets(int /*cpu*/, bool committed, bool open,
+                             const std::vector<sim::LineAddr>& /*reads*/,
+                             const std::vector<sim::LineAddr>& writes) {
+  if (capture_.quanta.empty()) return;
+  RunCapture::Quantum& q = capture_.quanta.back();
+  if (!open) q.boundary = true;
+  // A commit's write broadcast is what other cpus can conflict with; fold
+  // the full write set into the committing quantum's footprint.
+  if (!committed) return;
+  for (const sim::LineAddr line : writes) {
+    if (std::find(q.lines.begin(), q.lines.end(), line) == q.lines.end()) {
+      q.lines.push_back(line);
+    }
+  }
+}
+
+void Controller::note_table(const void* table) {
+  if (capture_.quanta.empty()) return;
+  RunCapture::Quantum& q = capture_.quanta.back();
+  if (std::find(q.tables.begin(), q.tables.end(), table) == q.tables.end()) {
+    q.tables.push_back(table);
+  }
+}
+
+void Controller::on_lock_acquired(const atomos::TxnId& owner, const void* table) {
+  note_table(table);
+  if (oracle_ != nullptr) oracle_->lock_acquired(owner, table);
+}
+
+void Controller::on_lock_released(const atomos::TxnId& owner, const void* table) {
+  note_table(table);
+  if (oracle_ != nullptr) oracle_->lock_released(owner, table);
+}
+
+void Controller::on_locks_released_all(const atomos::TxnId& owner, const void* table) {
+  note_table(table);
+  if (oracle_ != nullptr) oracle_->locks_released_all(owner, table);
+}
+
+void Controller::on_lock_release_noop(const atomos::TxnId& owner, const void* table) {
+  note_table(table);
+  if (oracle_ != nullptr) {
+    // Liveness must be sampled NOW: during commit handlers the transaction
+    // is still the cpu's bottom txn, so a double release inside them is
+    // caught, while a prune of a long-settled owner is not.
+    oracle_->lock_release_noop(owner, table, rt_.txn_live(owner));
+  }
+}
+
+void Controller::on_lock_pruned(const atomos::TxnId& /*owner*/, const void* table) {
+  // A prune removes a SETTLED owner's stale entry; its balance was already
+  // cleared by its own release path, so the ledger stays untouched.
+  note_table(table);
+}
+
+void Controller::on_compensation_run(const void* /*site*/) {}
+
+}  // namespace mc

@@ -1,0 +1,93 @@
+#include "mc/explorer.h"
+
+#include <algorithm>
+
+namespace mc {
+namespace {
+
+constexpr std::size_t kMaxCounterexamples = 32;
+
+/// Would running `alt` instead of the executed choice at `b` be visible?
+/// Heuristic: the alternative cpu's next footprint-carrying quantum in the
+/// executed run must share a memory line or a semantic table with what ran
+/// between the branch and that quantum.
+bool dependent(const RunCapture& cap, const RunCapture::Branch& b, int alt_cpu) {
+  std::size_t alt_q = cap.quanta.size();
+  for (std::size_t q = b.quantum; q < cap.quanta.size(); ++q) {
+    const RunCapture::Quantum& quantum = cap.quanta[q];
+    if (quantum.cpu == alt_cpu &&
+        (!quantum.lines.empty() || !quantum.tables.empty() || quantum.boundary)) {
+      alt_q = q;
+      break;
+    }
+  }
+  if (alt_q == cap.quanta.size()) return false;  // alternative never acts again
+
+  const RunCapture::Quantum& target = cap.quanta[alt_q];
+  // Transaction boundaries delimit the oracle's serialization windows:
+  // moving one across anything is observable, so never prune it.
+  if (target.boundary) return true;
+  for (std::size_t q = b.quantum; q < alt_q; ++q) {
+    const RunCapture::Quantum& between = cap.quanta[q];
+    if (between.cpu == alt_cpu) continue;
+    if (between.boundary) return true;
+    for (const sim::LineAddr line : between.lines) {
+      if (std::find(target.lines.begin(), target.lines.end(), line) !=
+          target.lines.end()) {
+        return true;
+      }
+    }
+    for (const void* table : between.tables) {
+      if (std::find(target.tables.begin(), target.tables.end(), table) !=
+          target.tables.end()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ExploreResult explore(const Program& prog, const ExploreOptions& opt) {
+  ExploreResult res;
+  std::vector<Schedule> stack;
+  stack.push_back(Schedule{});  // the default min-clock schedule
+
+  while (!stack.empty()) {
+    if (res.runs >= opt.max_runs) {
+      res.budget_exhausted = true;
+      break;
+    }
+    const Schedule prefix = std::move(stack.back());
+    stack.pop_back();
+
+    const RunResult run = run_program(prog, prefix);
+    ++res.runs;
+
+    if (!run.violations.empty() && res.counterexamples.size() < kMaxCounterexamples) {
+      res.counterexamples.push_back(Counterexample{run.executed, run.violations});
+    }
+    if (run.diverged) continue;  // stale prefix: the tree changed (defensive)
+
+    // Expand only decisions introduced by THIS run (ord >= prefix length):
+    // earlier decisions were expanded when their introducing run executed.
+    for (const RunCapture::Branch& b : run.capture.branches) {
+      if (b.ord < prefix.choices.size()) continue;
+      if (b.ord >= static_cast<std::size_t>(opt.max_depth)) break;
+      for (std::size_t alt = 0; alt < b.runnable.size(); ++alt) {
+        if (static_cast<int>(alt) == b.chosen_index) continue;
+        if (opt.reduce && !dependent(run.capture, b, b.runnable[alt])) continue;
+        Schedule next;
+        next.choices.assign(run.executed.choices.begin(),
+                            run.executed.choices.begin() +
+                                static_cast<std::ptrdiff_t>(b.ord));
+        next.choices.push_back(static_cast<int>(alt));
+        stack.push_back(std::move(next));
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace mc

@@ -1,0 +1,54 @@
+// txmc schedule explorer.
+//
+// Bounded-exhaustive DFS over the scheduling-decision tree of one litmus
+// program: every run is executed under a forced prefix of branch choices;
+// each branching decision AT OR BEYOND the prefix spawns sibling prefixes
+// for the alternatives not taken (never for decisions inside the prefix,
+// so no schedule is executed twice).
+//
+// With `reduce` on (the default) an alternative is only queued when it is
+// DEPENDENT on the executed choice: the alternative cpu's next visible
+// quantum (memory-line or semantic-table footprint, or a top-level
+// transaction boundary — commits delimit the oracle's serialization
+// windows, so reordering them is always observable) intersects what
+// actually ran in between.  The footprints come from the read/write sets
+// tm::Txn already maintains plus the semantic-lock events — a DPOR-style
+// heuristic, not a proof of optimality; --exhaustive disables it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mc/litmus.h"
+
+namespace mc {
+
+struct ExploreOptions {
+  int max_runs = 500;      ///< budget: total schedules executed
+  int max_depth = 64;      ///< branching decisions considered for expansion
+  bool reduce = true;      ///< dependence-based pruning of alternatives
+};
+
+struct Counterexample {
+  Schedule schedule;  ///< replay string reproduces the violations exactly
+  std::vector<Violation> violations;
+};
+
+struct ExploreResult {
+  int runs = 0;
+  bool budget_exhausted = false;
+  std::vector<Counterexample> counterexamples;
+
+  bool found(Anomaly kind) const {
+    for (const Counterexample& c : counterexamples) {
+      for (const Violation& v : c.violations) {
+        if (v.kind == kind) return true;
+      }
+    }
+    return false;
+  }
+};
+
+ExploreResult explore(const Program& prog, const ExploreOptions& opt);
+
+}  // namespace mc

@@ -1,0 +1,537 @@
+#include "mc/litmus.h"
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "core/txmap.h"
+#include "core/txqueue.h"
+#include "core/txsortedmap.h"
+#include "jstd/hashmap.h"
+#include "jstd/linkedqueue.h"
+#include "jstd/treemap.h"
+#include "mc/mutants.h"
+#include "mc/recorded.h"
+#include "tm/sem_events.h"
+#include "tm/shared.h"
+
+namespace mc {
+namespace {
+
+/// Runs `body` as one top-level transaction with the oracle's lifecycle
+/// handlers registered FIRST: the commit flush stamps before any collection
+/// handler applies its buffers (and needs no token — read-only transactions
+/// stay token-free), while the abort flush, running LAST in the reverse
+/// abort order, stamps after every compensation has run.
+template <class F>
+void mc_txn(Oracle& o, F&& body) {
+  auto& rt = atomos::Runtime::current();
+  rt.atomically([&] {
+    const atomos::TxnId id = rt.self_id();
+    o.attempt_begin(id.cpu, id);
+    Oracle* op = &o;
+    const int cpu = id.cpu;
+    rt.on_top_commit([op, cpu] { op->flush_commit(cpu); }, [] { return false; });
+    rt.on_top_abort([op, cpu] { op->flush_abort(cpu); });
+    body();
+  });
+}
+
+std::vector<std::pair<long, long>> map_entries(const jstd::Map<long, long>& m) {
+  std::vector<std::pair<long, long>> out;
+  for (auto it = m.iterator(); it->has_next();) out.push_back(it->next());
+  return out;
+}
+
+std::vector<long> drain_queue(jstd::Channel<long>& q) {
+  std::vector<long> out;
+  while (auto v = q.poll()) out.push_back(*v);
+  return out;
+}
+
+/// Owns every per-run object a program needs, so body/finish lambdas have
+/// stable addresses for the whole run.
+struct World {
+  std::unique_ptr<tcc::TransactionalMap<long, long>> map;
+  std::unique_ptr<tcc::TransactionalSortedMap<long, long>> sorted;
+  std::unique_ptr<tcc::TransactionalQueue<long>> queue;
+  std::optional<RecordedMap> rmap;
+  std::optional<RecordedSortedMap> rsorted;
+  std::optional<RecordedQueue> rqueue;
+  std::optional<atomos::Shared<long>> cell;
+
+  std::vector<std::function<void()>> bodies;
+  std::function<void()> finish;
+};
+
+using Builder = std::function<std::unique_ptr<World>(Oracle&)>;
+
+struct Entry {
+  Program prog;
+  Builder build;
+};
+
+std::unique_ptr<World> with_map(Oracle& o,
+                                std::unique_ptr<tcc::TransactionalMap<long, long>> map,
+                                std::vector<std::pair<long, long>> initial,
+                                bool open_eager = false) {
+  auto w = std::make_unique<World>();
+  w->map = std::move(map);
+  for (const auto& [k, v] : initial) w->map->put(k, v);  // pre-run: passthrough
+  o.register_map(w->map.get(), "map", std::move(initial));
+  w->rmap.emplace(&o, w->map.get(), open_eager);
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->finish = [op, wp] { op->set_final_map(wp->map.get(), map_entries(*wp->map)); };
+  return w;
+}
+
+std::unique_ptr<World> with_queue(Oracle& o,
+                                  std::unique_ptr<tcc::TransactionalQueue<long>> queue,
+                                  std::vector<long> initial) {
+  auto w = std::make_unique<World>();
+  w->queue = std::move(queue);
+  for (const long v : initial) w->queue->put(v);
+  o.register_queue(w->queue.get(), "queue", std::move(initial));
+  w->rqueue.emplace(&o, w->queue.get());
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->finish = [op, wp] { op->set_final_queue(wp->queue.get(), drain_queue(*wp->queue)); };
+  return w;
+}
+
+std::unique_ptr<tcc::TransactionalMap<long, long>> plain_map() {
+  return std::make_unique<tcc::TransactionalMap<long, long>>(
+      std::make_unique<jstd::HashMap<long, long>>(16));
+}
+
+std::unique_ptr<tcc::TransactionalQueue<long>> plain_queue() {
+  return std::make_unique<tcc::TransactionalQueue<long>>(
+      std::make_unique<jstd::LinkedQueue<long>>());
+}
+
+// ---- clean corpus ----
+
+std::unique_ptr<World> build_map_rmw(Oracle& o) {
+  auto w = with_map(o, plain_map(), {{1, 10}});
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->bodies = {
+      [op, wp] {
+        mc_txn(*op, [&] {
+          const long v = wp->rmap->get(1).value_or(0);
+          atomos::work(300);
+          wp->rmap->put(1, v + 1);
+        });
+      },
+      [op, wp] {
+        mc_txn(*op, [&] {
+          const long v = wp->rmap->get(1).value_or(0);
+          atomos::work(300);
+          wp->rmap->put(1, v + 2);
+        });
+      },
+  };
+  return w;
+}
+
+std::unique_ptr<World> build_map_blind(Oracle& o) {
+  auto w = with_map(o, plain_map(), {{1, 10}});
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->bodies = {
+      [op, wp] {
+        mc_txn(*op, [&] {
+          wp->rmap->put_blind(1, 100);
+          atomos::work(200);
+          (void)wp->rmap->get(2);
+        });
+      },
+      [op, wp] {
+        mc_txn(*op, [&] {
+          wp->rmap->put_blind(1, 200);
+          atomos::work(100);
+          (void)wp->rmap->get(3);
+        });
+      },
+  };
+  return w;
+}
+
+std::unique_ptr<World> build_map_size_empty(Oracle& o) {
+  auto w = with_map(o, plain_map(), {{1, 10}, {2, 20}});
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->bodies = {
+      [op, wp] {
+        mc_txn(*op, [&] {
+          const long s = wp->rmap->size();
+          atomos::work(250);
+          if (s < 3) wp->rmap->put(100, s);
+        });
+      },
+      [op, wp] {
+        mc_txn(*op, [&] {
+          const bool e = wp->rmap->is_empty();
+          atomos::work(120);
+          if (!e) wp->rmap->put(200, 5);
+        });
+      },
+  };
+  return w;
+}
+
+std::unique_ptr<World> build_sorted_endpoints(Oracle& o) {
+  auto w = std::make_unique<World>();
+  w->sorted = std::make_unique<tcc::TransactionalSortedMap<long, long>>(
+      std::make_unique<jstd::TreeMap<long, long>>());
+  w->sorted->put(5, 50);
+  w->sorted->put(9, 90);
+  o.register_map(w->sorted.get(), "sorted", {{5, 50}, {9, 90}}, /*sorted=*/true);
+  w->rsorted.emplace(&o, w->sorted.get());
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->finish = [op, wp] { op->set_final_map(wp->sorted.get(), map_entries(*wp->sorted)); };
+  w->bodies = {
+      [op, wp] {
+        mc_txn(*op, [&] {
+          const long f = wp->rsorted->first_key().value_or(-1);
+          atomos::work(250);
+          wp->rsorted->put(f + 100, 1);  // 105 or 101: distinct from corpus keys
+        });
+      },
+      [op, wp] {
+        mc_txn(*op, [&] {
+          (void)wp->rsorted->last_key();
+          atomos::work(80);
+          wp->rsorted->put(1, 11);  // new minimum: violates first-key observers
+        });
+      },
+  };
+  return w;
+}
+
+std::unique_ptr<World> build_queue_pc(Oracle& o) {
+  auto w = with_queue(o, plain_queue(), {101});
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->bodies = {
+      [op, wp] {
+        mc_txn(*op, [&] {
+          wp->rqueue->put(102);
+          atomos::work(150);
+        });
+        mc_txn(*op, [&] { wp->rqueue->put(103); });
+      },
+      [op, wp] {
+        mc_txn(*op, [&] {
+          (void)wp->rqueue->poll();
+          atomos::work(120);
+          (void)wp->rqueue->poll();
+        });
+      },
+  };
+  return w;
+}
+
+std::unique_ptr<World> build_queue_worklist(Oracle& o) {
+  auto w = with_queue(o, plain_queue(), {201, 202});
+  World* wp = w.get();
+  Oracle* op = &o;
+  auto worker = [op, wp] {
+    mc_txn(*op, [&] {
+      const auto v = wp->rqueue->take();
+      atomos::work(140);
+      if (v.has_value()) wp->rqueue->put(*v + 10);  // 211/212: globally unique
+    });
+  };
+  w->bodies = {worker, worker};
+  return w;
+}
+
+std::unique_ptr<World> build_compound(Oracle& o) {
+  auto w = with_map(o, plain_map(), {});
+  w->queue = plain_queue();
+  w->queue->put(301);
+  o.register_queue(w->queue.get(), "queue", {301});
+  w->rqueue.emplace(&o, w->queue.get());
+  World* wp = w.get();
+  Oracle* op = &o;
+  auto base_finish = std::move(w->finish);
+  w->finish = [op, wp, base_finish] {
+    base_finish();
+    op->set_final_queue(wp->queue.get(), drain_queue(*wp->queue));
+  };
+  w->bodies = {
+      [op, wp] {
+        mc_txn(*op, [&] {
+          const auto v = wp->rqueue->poll();
+          atomos::work(100);
+          if (v.has_value()) wp->rmap->put(*v, 1);
+        });
+      },
+      [op, wp] {
+        mc_txn(*op, [&] {
+          wp->rmap->put(302, 2);
+          atomos::work(90);
+          wp->rqueue->put(303);
+        });
+      },
+  };
+  return w;
+}
+
+std::unique_ptr<World> build_map_conflict(Oracle& o) {
+  auto w = with_map(o, plain_map(), {{1, 10}});
+  w->cell.emplace(0L);
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->bodies = {
+      [op, wp] {
+        mc_txn(*op, [&] {
+          (void)wp->rmap->get(1);
+          (void)wp->cell->get();  // memory-level read: cpu1's commit dooms us
+          atomos::work(280);
+          wp->rmap->put(2, 22);
+          wp->cell->set(1);
+        });
+      },
+      [op, wp] {
+        mc_txn(*op, [&] {
+          atomos::work(60);
+          wp->cell->set(2);
+          wp->rmap->put(1, 11);
+        });
+      },
+  };
+  return w;
+}
+
+// ---- mutant corpus ----
+
+std::unique_ptr<World> build_mut_lost_lock(Oracle& o) {
+  auto w = with_map(o, std::make_unique<LockDroppingMap>(
+                           std::make_unique<jstd::HashMap<long, long>>(16)),
+                    {{1, 10}});
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->bodies = {
+      [op, wp] {
+        mc_txn(*op, [&] {
+          const long v = wp->rmap->get(1).value_or(0);
+          atomos::work(400);
+          wp->rmap->put(2, v * 100);
+        });
+      },
+      [op, wp] {
+        mc_txn(*op, [&] {
+          atomos::work(50);
+          wp->rmap->put(1, 11);
+        });
+      },
+  };
+  return w;
+}
+
+std::unique_ptr<World> build_mut_open_leak(Oracle& o) {
+  auto w = with_map(o, std::make_unique<EagerOpenMap>(
+                           std::make_unique<jstd::HashMap<long, long>>(16)),
+                    {}, /*open_eager=*/true);
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->bodies = {
+      [op, wp] { mc_txn(*op, [&] { (void)wp->rmap->get(50); }); },
+      [op, wp] {
+        mc_txn(*op, [&] {
+          wp->rmap->put(50, 42);  // applied eagerly by the mutant
+          atomos::work(400);
+        });
+      },
+  };
+  return w;
+}
+
+std::unique_ptr<World> build_mut_lost_update(Oracle& o) {
+  auto w = with_map(o, std::make_unique<NoLockPutMap>(
+                           std::make_unique<jstd::HashMap<long, long>>(16)),
+                    {{1, 10}});
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->bodies = {
+      [op, wp] {
+        mc_txn(*op, [&] {
+          wp->rmap->put(1, 100);
+          atomos::work(300);
+        });
+      },
+      [op, wp] {
+        mc_txn(*op, [&] {
+          wp->rmap->put(1, 200);
+          atomos::work(120);
+        });
+      },
+  };
+  return w;
+}
+
+std::unique_ptr<World> build_mut_lossy_queue(Oracle& o) {
+  auto w = with_queue(o, std::make_unique<LossyQueue>(
+                             std::make_unique<jstd::LinkedQueue<long>>()),
+                      {401, 402});
+  w->cell.emplace(0L);
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->bodies = {
+      [op, wp] {
+        mc_txn(*op, [&] {
+          (void)wp->rqueue->poll();
+          (void)wp->cell->get();  // cpu1's committed write aborts us mid-flight
+          atomos::work(250);
+        });
+      },
+      [op, wp] {
+        mc_txn(*op, [&] {
+          atomos::work(60);
+          wp->cell->set(2);
+        });
+      },
+  };
+  return w;
+}
+
+std::unique_ptr<World> build_mut_double_release(Oracle& o) {
+  auto w = with_map(o, std::make_unique<DoubleReleaseMap>(
+                           std::make_unique<jstd::HashMap<long, long>>(16)),
+                    {{1, 10}});
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->bodies = {
+      [op, wp] {
+        mc_txn(*op, [&] {
+          (void)wp->rmap->get(1);
+          wp->rmap->put(1, 11);
+        });
+      },
+      [op, wp] { mc_txn(*op, [&] { wp->rmap->put(2, 22); }); },
+  };
+  return w;
+}
+
+std::unique_ptr<World> build_mut_lock_leak(Oracle& o) {
+  auto w = with_map(o, std::make_unique<LeakyAbortMap>(
+                           std::make_unique<jstd::HashMap<long, long>>(16)),
+                    {{1, 10}});
+  w->cell.emplace(0L);
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->bodies = {
+      [op, wp] {
+        mc_txn(*op, [&] {
+          (void)wp->cell->get();
+          (void)wp->rmap->get(1);
+          atomos::work(300);
+        });
+      },
+      [op, wp] {
+        mc_txn(*op, [&] {
+          atomos::work(50);
+          wp->cell->set(5);
+        });
+      },
+  };
+  return w;
+}
+
+const std::vector<Entry>& registry() {
+  static const std::vector<Entry> entries = [] {
+    std::vector<Entry> e;
+    auto clean = [&](const char* name, const char* desc, Builder b) {
+      e.push_back(Entry{Program{name, desc, 2, false, std::nullopt}, std::move(b)});
+    };
+    auto mutant = [&](const char* name, const char* desc, Anomaly a, Builder b) {
+      e.push_back(Entry{Program{name, desc, 2, true, a}, std::move(b)});
+    };
+    clean("map_rmw", "two read-modify-write transactions on one key", build_map_rmw);
+    clean("map_blind", "blind puts of the same key commute", build_map_blind);
+    clean("map_size_empty", "size/isEmpty observers vs a concurrent writer",
+          build_map_size_empty);
+    clean("sorted_endpoints", "firstKey/lastKey observers vs endpoint inserts",
+          build_sorted_endpoints);
+    clean("queue_pc", "producer/consumer with emptiness observations", build_queue_pc);
+    clean("queue_worklist", "two take-then-put workers (Table 7 commute)",
+          build_queue_worklist);
+    clean("compound", "one transaction spanning a map and a queue", build_compound);
+    clean("map_conflict", "memory conflict forces an abort + compensation",
+          build_map_conflict);
+    mutant("mut_lost_lock", "get() without the key lock",
+           Anomaly::kLostSemanticLock, build_mut_lost_lock);
+    mutant("mut_open_leak", "open-nested eager put leaks pre-commit state",
+           Anomaly::kNonCommutingOpen, build_mut_open_leak);
+    mutant("mut_lost_update", "RMW put without the key read-lock",
+           Anomaly::kLostUpdate, build_mut_lost_update);
+    mutant("mut_lossy_queue", "abort compensation drops polled elements",
+           Anomaly::kCompensationInversion, build_mut_lossy_queue);
+    mutant("mut_double_release", "commit handler releases key locks twice",
+           Anomaly::kDoubleRelease, build_mut_double_release);
+    mutant("mut_lock_leak", "abort handler forgets to release locks",
+           Anomaly::kLockLeak, build_mut_lock_leak);
+    return e;
+  }();
+  return entries;
+}
+
+}  // namespace
+
+const std::vector<Program>& programs() {
+  static const std::vector<Program> progs = [] {
+    std::vector<Program> p;
+    for (const Entry& e : registry()) p.push_back(e.prog);
+    return p;
+  }();
+  return progs;
+}
+
+const Program* find_program(const std::string& name) {
+  for (const Program& p : programs()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+RunResult run_program(const Program& prog, const Schedule& forced) {
+  const Entry* entry = nullptr;
+  for (const Entry& e : registry()) {
+    if (e.prog.name == prog.name) entry = &e;
+  }
+  RunResult res;
+  if (entry == nullptr) {
+    res.violations.push_back(
+        Violation{Anomaly::kNotSerializable, "unknown program: " + prog.name});
+    return res;
+  }
+
+  sim::Config cfg;
+  cfg.num_cpus = entry->prog.num_cpus;
+  cfg.mode = sim::Mode::kTcc;
+  cfg.slack = 0;  // exact interleaving: the hook owns every decision
+  sim::Engine eng(cfg);  // resets the va arenas: runs are bit-reproducible
+  atomos::Runtime rt(eng);
+  Oracle oracle;
+  Controller ctl(eng, rt, &oracle, forced);
+  eng.set_scheduler_hook(&ctl);
+  rt.set_mc_observer(&ctl);
+  atomos::sem::ScopedObserver sem_guard(&ctl);
+
+  std::unique_ptr<World> world = entry->build(oracle);
+  for (auto& body : world->bodies) eng.spawn(body);
+  eng.run();
+  if (world->finish) world->finish();
+
+  res.violations = oracle.check();
+  res.executed = ctl.executed();
+  res.diverged = ctl.diverged();
+  res.capture = ctl.capture();
+  return res;
+}
+
+}  // namespace mc

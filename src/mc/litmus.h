@@ -1,0 +1,51 @@
+// txmc litmus corpus: small concurrent programs over the transactional
+// collections, each run deterministically under a Controller-driven
+// schedule.
+//
+// The corpus has two halves:
+//  * CLEAN programs exercise the real collections (maps, sorted maps,
+//    queues, compound transactions, forced memory-conflict aborts); the
+//    oracle must accept EVERY schedule of these;
+//  * MUTANT programs instantiate a seeded-bug collection (mc/mutants.h);
+//    the explorer must find at least one schedule whose history the oracle
+//    rejects with the mutant's expected anomaly class.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/controller.h"
+#include "mc/oracle.h"
+#include "mc/schedule.h"
+
+namespace mc {
+
+struct Program {
+  std::string name;
+  std::string description;
+  int num_cpus = 2;
+  bool mutant = false;
+  /// The anomaly class the seeded bug must be caught as (mutants only).
+  std::optional<Anomaly> expected;
+};
+
+/// One deterministic execution of a program under a forced schedule prefix.
+struct RunResult {
+  std::vector<Violation> violations;
+  Schedule executed;       ///< full replayable schedule of this run
+  bool diverged = false;   ///< forced prefix referenced a vanished branch
+  RunCapture capture;      ///< footprints/branches for the explorer
+};
+
+/// The full corpus, clean programs first.
+const std::vector<Program>& programs();
+
+/// nullptr if `name` is not in the corpus.
+const Program* find_program(const std::string& name);
+
+/// Builds a fresh engine/runtime/collection world for `prog` and runs it
+/// once under `forced` (empty = the default min-clock schedule).
+RunResult run_program(const Program& prog, const Schedule& forced);
+
+}  // namespace mc

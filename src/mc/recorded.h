@@ -1,0 +1,301 @@
+// Recording facades over the transactional collections.
+//
+// Litmus program bodies talk to these instead of the raw collections; every
+// operation is executed against the real collection and then recorded in
+// the Oracle with its observed result.  The wrappers are deliberately NOT
+// jstd interfaces — they are test instruments, concrete over long keys and
+// values (the whole corpus uses globally unique long elements, which is
+// what makes own-put detection in the queue wrapper exact).
+//
+// Stamp discipline (who observes when):
+//  * map operations take their semantic lock INSIDE the same open-nested
+//    child as the observation, and control returns to the wrapper with no
+//    intervening scheduling point — recording after the call is exact;
+//  * queue EMPTINESS observations take the empty lock in a SECOND open
+//    child after the miss was observed, so the wrapper draws a stamp
+//    BEFORE calling into the queue: the serialization window must start at
+//    (or before) the real observation, never after a producer that slipped
+//    into the gap.
+#pragma once
+
+#include <optional>
+
+#include "core/txmap.h"
+#include "core/txqueue.h"
+#include "core/txsortedmap.h"
+#include "mc/oracle.h"
+#include "tm/runtime.h"
+
+namespace mc {
+
+class RecordedMap {
+ public:
+  /// `open_eager_puts` marks recorded puts as open-nested eager effects —
+  /// set by litmus programs that instantiate the EagerOpenMap mutant, so
+  /// the oracle can attribute dirty reads to open-nesting misuse.
+  RecordedMap(Oracle* o, tcc::TransactionalMap<long, long>* m,
+              bool open_eager_puts = false)
+      : o_(o), m_(m), table_(m), plain_(m), open_eager_(open_eager_puts) {}
+
+  /// For maps that are not the default TransactionalMap instantiation
+  /// (e.g. the sorted wrapper): ops dispatch through the jstd interface and
+  /// are recorded against `table` (no blind variants available).
+  RecordedMap(Oracle* o, jstd::Map<long, long>* m, const void* table)
+      : o_(o), m_(m), table_(table), plain_(nullptr), open_eager_(false) {}
+
+  std::optional<long> get(long key) {
+    auto got = m_->get(key);
+    Op op;
+    op.kind = Op::Kind::kGet;
+    op.table = table_;
+    op.key = key;
+    op.observed_present = got.has_value();
+    op.observed = got.value_or(0);
+    o_->record(cpu(), op);
+    return got;
+  }
+
+  std::optional<long> put(long key, long value) {
+    auto old = m_->put(key, value);
+    Op op;
+    op.kind = Op::Kind::kPut;
+    op.table = table_;
+    op.key = key;
+    op.value = value;
+    op.observed_present = old.has_value();
+    op.observed = old.value_or(0);
+    op.open_child = open_eager_;
+    o_->record(cpu(), op);
+    return old;
+  }
+
+  std::optional<long> remove(long key) {
+    auto old = m_->remove(key);
+    Op op;
+    op.kind = Op::Kind::kRemove;
+    op.table = table_;
+    op.key = key;
+    op.observed_present = old.has_value();
+    op.observed = old.value_or(0);
+    op.open_child = open_eager_;
+    o_->record(cpu(), op);
+    return old;
+  }
+
+  void put_blind(long key, long value) {
+    plain_->put_blind(key, value);
+    Op op;
+    op.kind = Op::Kind::kPut;
+    op.table = table_;
+    op.key = key;
+    op.value = value;
+    op.blind = true;
+    o_->record(cpu(), op);
+  }
+
+  void remove_blind(long key) {
+    plain_->remove_blind(key);
+    Op op;
+    op.kind = Op::Kind::kRemove;
+    op.table = table_;
+    op.key = key;
+    op.blind = true;
+    o_->record(cpu(), op);
+  }
+
+  long size() {
+    const long n = m_->size();
+    Op op;
+    op.kind = Op::Kind::kSize;
+    op.table = table_;
+    op.observed = n;
+    o_->record(cpu(), op);
+    return n;
+  }
+
+  bool is_empty() {
+    const bool e = m_->is_empty();
+    Op op;
+    op.kind = Op::Kind::kIsEmpty;
+    op.table = table_;
+    op.observed = e ? 1 : 0;
+    o_->record(cpu(), op);
+    return e;
+  }
+
+  const void* table() const { return table_; }
+
+ private:
+  static int cpu() { return atomos::self_id().cpu; }
+
+  Oracle* o_;
+  jstd::Map<long, long>* m_;
+  const void* table_;
+  tcc::TransactionalMap<long, long>* plain_;  // blind variants only
+  bool open_eager_;
+};
+
+class RecordedSortedMap {
+ public:
+  RecordedSortedMap(Oracle* o, tcc::TransactionalSortedMap<long, long>* m)
+      : o_(o), m_(m), base_(o, static_cast<jstd::Map<long, long>*>(m), m) {}
+
+  std::optional<long> get(long key) { return base_.get(key); }
+  std::optional<long> put(long key, long value) { return base_.put(key, value); }
+  std::optional<long> remove(long key) { return base_.remove(key); }
+  long size() { return base_.size(); }
+
+  std::optional<long> first_key() {
+    auto k = m_->first_key();
+    Op op;
+    op.kind = Op::Kind::kFirstKey;
+    op.table = m_;
+    op.observed_present = k.has_value();
+    op.observed = k.value_or(0);
+    o_->record(atomos::self_id().cpu, op);
+    return k;
+  }
+
+  std::optional<long> last_key() {
+    auto k = m_->last_key();
+    Op op;
+    op.kind = Op::Kind::kLastKey;
+    op.table = m_;
+    op.observed_present = k.has_value();
+    op.observed = k.value_or(0);
+    o_->record(atomos::self_id().cpu, op);
+    return k;
+  }
+
+  const void* table() const { return m_; }
+
+ private:
+  Oracle* o_;
+  tcc::TransactionalSortedMap<long, long>* m_;
+  RecordedMap base_;
+};
+
+class RecordedQueue {
+ public:
+  RecordedQueue(Oracle* o, tcc::TransactionalQueue<long>* q) : o_(o), q_(q) {}
+
+  void put(long item) {
+    q_->put(item);
+    Op op;
+    op.kind = Op::Kind::kQPut;
+    op.table = q_;
+    op.value = item;
+    Attempt& a = attempt();
+    a.puts.push_back(PendingPut{item, o_->record(a.id.cpu, op)});
+  }
+
+  std::optional<long> poll() {
+    const std::uint64_t pre = o_->stamp();  // before the real observation
+    auto got = q_->poll();
+    if (got.has_value()) {
+      if (!consume_own_put(*got)) {
+        Op op;
+        op.kind = Op::Kind::kQPollHit;
+        op.table = q_;
+        op.observed = *got;
+        o_->record(attempt().id.cpu, op);
+      }
+      return got;
+    }
+    Op op;
+    op.kind = Op::Kind::kQPollMiss;
+    op.table = q_;
+    op.event = pre;
+    o_->record(attempt().id.cpu, op);
+    return std::nullopt;
+  }
+
+  std::optional<long> take() {
+    auto got = q_->take();
+    if (got.has_value() && !consume_own_put(*got)) {
+      Op op;
+      op.kind = Op::Kind::kQTakeHit;
+      op.table = q_;
+      op.observed = *got;
+      o_->record(attempt().id.cpu, op);
+    }
+    return got;  // a miss carries no emptiness semantics (Table 7)
+  }
+
+  std::optional<long> peek() {
+    const std::uint64_t pre = o_->stamp();
+    auto got = q_->peek();
+    if (got.has_value()) {
+      if (!is_own_put(*got)) {  // peeking an own buffered put: pure RYW
+        Op op;
+        op.kind = Op::Kind::kQPeekHit;
+        op.table = q_;
+        op.observed = *got;
+        o_->record(attempt().id.cpu, op);
+      }
+      return got;
+    }
+    Op op;
+    op.kind = Op::Kind::kQPeekMiss;
+    op.table = q_;
+    op.event = pre;
+    o_->record(attempt().id.cpu, op);
+    return std::nullopt;
+  }
+
+  const void* table() const { return q_; }
+
+ private:
+  struct PendingPut {
+    long value;
+    std::size_t op_index;
+  };
+  struct Attempt {
+    atomos::TxnId id{};
+    std::vector<PendingPut> puts;
+  };
+
+  /// Per-cpu pending-put ledger, reset whenever a new attempt (fresh
+  /// incarnation, e.g. after a violation retry) shows up on the cpu.
+  Attempt& attempt() {
+    const atomos::TxnId cur = atomos::self_id();
+    const auto c = static_cast<std::size_t>(cur.cpu);
+    if (attempts_.size() <= c) attempts_.resize(c + 1);
+    Attempt& a = attempts_[c];
+    if (!(a.id == cur)) {
+      a.puts.clear();
+      a.id = cur;
+    }
+    return a;
+  }
+
+  /// Elements are globally unique in the corpus, so a polled value that
+  /// matches one of this attempt's pending puts can ONLY be the queue's
+  /// read-your-writes path: the put never reaches the shared queue, so its
+  /// recorded op is cancelled and the poll records nothing.
+  bool consume_own_put(long value) {
+    Attempt& a = attempt();
+    for (std::size_t i = 0; i < a.puts.size(); ++i) {
+      if (a.puts[i].value == value) {
+        o_->cancel(a.id.cpu, a.puts[i].op_index);
+        a.puts.erase(a.puts.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool is_own_put(long value) {
+    Attempt& a = attempt();
+    for (const PendingPut& p : a.puts) {
+      if (p.value == value) return true;
+    }
+    return false;
+  }
+
+  Oracle* o_;
+  tcc::TransactionalQueue<long>* q_;
+  std::vector<Attempt> attempts_;
+};
+
+}  // namespace mc

@@ -1,0 +1,38 @@
+#include "mc/schedule.h"
+
+namespace mc {
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdefghijklmnopqrstuv";
+
+int digit_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'v') return 10 + (c - 'a');
+  return -1;
+}
+
+}  // namespace
+
+std::string encode(const Schedule& s) {
+  std::string out = "v1:";
+  out.reserve(out.size() + s.choices.size());
+  for (const int c : s.choices) {
+    if (c < 0 || c >= 32) return "v1:<invalid>";
+    out.push_back(kDigits[c]);
+  }
+  return out;
+}
+
+bool decode(const std::string& text, Schedule& out) {
+  if (text.rfind("v1:", 0) != 0) return false;
+  Schedule s;
+  for (std::size_t i = 3; i < text.size(); ++i) {
+    const int v = digit_value(text[i]);
+    if (v < 0) return false;
+    s.choices.push_back(v);
+  }
+  out = std::move(s);
+  return true;
+}
+
+}  // namespace mc

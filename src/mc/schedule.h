@@ -1,0 +1,36 @@
+// txmc replay strings: a schedule as one short line of text.
+//
+// The controller (mc/controller.h) makes a scheduling decision every time
+// the engine asks it to pick among >= 2 runnable CPUs ("branching"
+// decisions; a forced pick of the only runnable CPU carries no information
+// and is not recorded).  A schedule is the sequence of indices into the
+// (ascending) runnable list chosen at those branching decisions; everything
+// else about a run is deterministic, so the string replays the exact
+// interleaving — txmc's one-line reproduce.
+//
+// Encoding "v1": the literal prefix "v1:" followed by one base-32 digit
+// (0-9, a-v) per decision — indices fit, the engine caps num_cpus at 32.
+// A run whose branching decisions outnumber the string's digits continues
+// under the controller's default policy (min clock, lowest id), which is
+// exactly how explorer prefixes work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mc {
+
+struct Schedule {
+  std::vector<int> choices;  // runnable-list index per branching decision
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+};
+
+/// Renders `s` as a "v1:..." replay string.
+std::string encode(const Schedule& s);
+
+/// Parses a replay string.  Returns false (leaving `out` untouched) on a
+/// malformed string: missing "v1:" prefix or a non-base-32 digit.
+bool decode(const std::string& text, Schedule& out);
+
+}  // namespace mc

@@ -120,8 +120,33 @@ void Engine::run() {
       }
       break;
     }
-    Cpu& c = cpus_[static_cast<std::size_t>(next)];
+    Cpu* chosen = &cpus_[static_cast<std::size_t>(next)];
     run_limit_ = (second == kNever) ? second : second + cfg_.slack;
+    if (hook_ != nullptr) {
+      // Present the runnable set (ascending ids) and let the hook override
+      // both the choice and the quantum.  kUseDefault keeps the min-clock
+      // choice and limit computed above — bit-identical to no hook.
+      runnable_scratch_.clear();
+      for (const Cpu& c : cpus_) {
+        if (c.state_ == Cpu::State::kRunnable) runnable_scratch_.push_back(c.id_);
+      }
+      const int picked = hook_->pick(runnable_scratch_);
+      if (picked != SchedulerHook::kUseDefault) {
+        if (picked < 0 || picked >= static_cast<int>(cpus_.size()) ||
+            cpus_[static_cast<std::size_t>(picked)].state_ != Cpu::State::kRunnable) {
+          kill_all_suspended();
+          tls_engine_ = prev;
+          running_ = false;
+          throw std::logic_error("Engine: scheduler hook picked a non-runnable CPU");
+        }
+        chosen = &cpus_[static_cast<std::size_t>(picked)];
+        next = picked;
+        // One-quantum budget: the fiber yields at its next clock advance,
+        // handing the next interleaving decision back to the hook.
+        run_limit_ = chosen->clock_;
+      }
+    }
+    Cpu& c = *chosen;
     // With a host deadline armed, never hand a fiber an unbounded budget: a
     // sole runnable fiber spinning in tick() would otherwise never return
     // here, where the deadline is polled.  Capping the limit only inserts

@@ -32,6 +32,31 @@ struct SimTimeout : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Pluggable scheduling-decision hook (txmc's entry point into the engine).
+///
+/// When installed via Engine::set_scheduler_hook, pick() is consulted at
+/// every scheduling decision with the runnable CPU ids in ascending order
+/// (never empty).  Returning a CPU id runs that fiber for ONE quantum: its
+/// run limit is pinned to its current clock, so it yields back at its next
+/// timed event — the granularity a model checker needs to interleave at
+/// every step.  Returning kUseDefault applies the engine's own min-clock
+/// policy and run-limit computation for this decision, bit-identical to
+/// running with no hook at all (the golden-cycle property regression tests
+/// pin).
+///
+/// The hook runs on the scheduler (host) side, never on a worker fiber; it
+/// must not call back into the engine's worker API.
+class SchedulerHook {
+ public:
+  static constexpr int kUseDefault = -1;
+
+  virtual ~SchedulerHook() = default;
+
+  /// Chooses the next CPU to run, or kUseDefault for the engine policy.
+  /// Returning an id that is not in `runnable` is a logic error.
+  virtual int pick(const std::vector<int>& runnable) = 0;
+};
+
 /// One virtual CPU: clock, scheduling state, worker fiber.
 class Cpu {
  public:
@@ -97,6 +122,20 @@ class Engine {
   }
   trace::Tracer* tracer() const { return tracer_; }
 
+  /// Installs (or clears, with nullptr) the scheduling-decision hook.  Not
+  /// owned; must outlive the run.  May only change while no run is active.
+  void set_scheduler_hook(SchedulerHook* h) {
+    if (running_) throw std::logic_error("Engine::set_scheduler_hook during run()");
+    hook_ = h;
+  }
+  SchedulerHook* scheduler_hook() const { return hook_; }
+
+  /// Virtual clock of `cpu` (scheduler-side observation, e.g. a hook
+  /// implementing its own clock-aware policy).
+  std::uint64_t cpu_clock(int cpu) const {
+    return cpus_[static_cast<std::size_t>(cpu)].clock_;
+  }
+
   // ---- API usable from inside worker fibers ----
 
   /// The engine whose run() is active on this thread (never null inside a
@@ -160,6 +199,8 @@ class Engine {
   Stats stats_;
   MemSys mem_;
   trace::Tracer* tracer_ = nullptr;
+  SchedulerHook* hook_ = nullptr;
+  std::vector<int> runnable_scratch_;  // reused per decision when hook_ set
   std::vector<Cpu> cpus_;
   std::vector<std::function<void()>> work_;
   std::vector<void*> user_;

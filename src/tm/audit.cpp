@@ -2,9 +2,11 @@
 
 #if defined(TXCC_CHECKED) && TXCC_CHECKED
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "sim/vaddr.h"
@@ -28,6 +30,24 @@ struct TxnIdHash {
 struct State {
   // Semantic-lock ledger: owner -> (lock table -> live acquire count).
   std::unordered_map<TxnId, std::unordered_map<const void*, long>, TxnIdHash> held;
+  // Highest finished top-level incarnation per CPU.  Lock owners are always
+  // top-level TxnIds, and top-level transactions on one CPU finish in
+  // incarnation order, so `incarnation <= settled_upto[cpu]` is an exact
+  // settled test in O(1) memory: a release no-op for a settled owner is a
+  // stale prune, for a live one a double release.
+  std::unordered_map<int, std::uint64_t> settled_upto;
+  // In-progress abort-handler runs, tracked PER CPU (handler transactions
+  // tick and yield, so scopes of different cpus interleave; on one cpu they
+  // still nest when a compensation itself aborts): the sites whose
+  // compensation already ran in that scope, and which of them were already
+  // reported as duplicates.
+  struct AbortScope {
+    TxnId id;
+    std::unordered_set<const void*> ran;       // committed handler attempts
+    std::vector<const void*> attempt;          // in-flight handler attempt
+    std::unordered_set<const void*> reported;
+  };
+  std::unordered_map<int, std::vector<AbortScope>> abort_scopes;
   // Registered Shared<T> cells: address -> payload size.
   std::unordered_map<std::uintptr_t, std::uint32_t> cells;
   std::array<std::uint64_t, static_cast<std::size_t>(Check::kChecks)> counts{};
@@ -66,6 +86,8 @@ std::string ptr_str(const void* p) {
 void reset() {
   State& s = st();
   s.held.clear();
+  s.settled_upto.clear();
+  s.abort_scopes.clear();
   s.counts.fill(0);
   s.findings.clear();
   sim::va_foreign_alloc_reset();
@@ -113,6 +135,69 @@ void locks_released_all(const TxnId& owner, const void* table) {
   if (it->second.empty()) s.held.erase(it);
 }
 
+void lock_release_noop(const TxnId& owner, const void* table) {
+  if (owner.cpu < 0) return;  // not a live transaction id
+  State& s = st();
+  auto it = s.settled_upto.find(owner.cpu);
+  if (it != s.settled_upto.end() && owner.incarnation <= it->second) {
+    return;  // stale prune of a finished incarnation: benign by design
+  }
+  report(Check::kDoubleRelease,
+         id_str(owner) + " released a semantic lock it does not hold in table " +
+             ptr_str(table) + " (double release, or release without acquire)");
+}
+
+// ---- compensation scoping ----
+
+void abort_scope_begin(const TxnId& id) {
+  st().abort_scopes[id.cpu].push_back(State::AbortScope{id, {}, {}, {}});
+}
+
+void abort_scope_end(int cpu) {
+  State& s = st();
+  auto it = s.abort_scopes.find(cpu);
+  if (it == s.abort_scopes.end() || it->second.empty()) return;
+  it->second.pop_back();
+  if (it->second.empty()) s.abort_scopes.erase(it);
+}
+
+void compensation_run(int cpu, const void* site) {
+  State& s = st();
+  auto it = s.abort_scopes.find(cpu);
+  if (it == s.abort_scopes.end() || it->second.empty()) return;  // not audited
+  State::AbortScope& scope = it->second.back();
+  const bool seen =
+      scope.ran.count(site) != 0 ||
+      std::find(scope.attempt.begin(), scope.attempt.end(), site) != scope.attempt.end();
+  if (!seen) {
+    scope.attempt.push_back(site);  // counted only if this attempt commits
+    return;
+  }
+  if (scope.reported.insert(site).second) {
+    report(Check::kDoubleCompensation,
+           id_str(scope.id) + " ran the compensation for collection " +
+               ptr_str(site) +
+               " more than once in a single abort: compensations are not "
+               "idempotent, the second run corrupts committed state");
+  }
+}
+
+void compensation_handler_committed(int cpu) {
+  State& s = st();
+  auto it = s.abort_scopes.find(cpu);
+  if (it == s.abort_scopes.end() || it->second.empty()) return;
+  State::AbortScope& scope = it->second.back();
+  for (const void* site : scope.attempt) scope.ran.insert(site);
+  scope.attempt.clear();
+}
+
+void compensation_handler_aborted(int cpu) {
+  // The handler transaction rolled back: its compensation never happened.
+  State& s = st();
+  auto it = s.abort_scopes.find(cpu);
+  if (it != s.abort_scopes.end() && !it->second.empty()) it->second.back().attempt.clear();
+}
+
 // ---- transaction lifecycle ----
 
 void handler_pairing(const TxnId& id, std::size_t top_commit_handlers,
@@ -130,6 +215,8 @@ void handler_pairing(const TxnId& id, std::size_t top_commit_handlers,
 
 void txn_finished(const TxnId& id, bool committed) {
   State& s = st();
+  std::uint64_t& upto = s.settled_upto[id.cpu];
+  if (id.incarnation > upto) upto = id.incarnation;
   auto it = s.held.find(id);
   if (it == s.held.end()) return;
   long locks = 0;

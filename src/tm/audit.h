@@ -56,6 +56,17 @@ enum class Check {
   /// alias another simulation's addresses.  Detected in sim::va_alloc
   /// (sim/vaddr.h); the count lives there and is surfaced here.
   kForeignVaAlloc,
+  /// A semantic lock released twice by a live transaction: the release
+  /// request found nothing to release and the owner has not settled yet, so
+  /// this is not a stale prune — it is a second release (or a release
+  /// without acquire), which under optimistic read intents can strip
+  /// ANOTHER reader's protection from the key.
+  kDoubleRelease,
+  /// The same collection compensation (abort handler) ran twice within one
+  /// abort: compensations are not idempotent (a second run re-applies the
+  /// inverse op to already-restored state), so a double registration
+  /// corrupts the committed collection.
+  kDoubleCompensation,
   kChecks  // count sentinel
 };
 
@@ -75,6 +86,29 @@ const std::vector<std::string>& reports();
 void lock_acquired(const TxnId& owner, const void* table);
 void lock_released(const TxnId& owner, const void* table);   // missing entry: no-op
 void locks_released_all(const TxnId& owner, const void* table);
+/// A release request that found nothing to release in the lock table.  A
+/// stale prune of a settled (finished) incarnation is benign; anything else
+/// is a double release by a live transaction (kDoubleRelease).
+void lock_release_noop(const TxnId& owner, const void* table);
+
+// ---- hooks: compensation scoping (called by tm/runtime.cpp + collections) --
+/// Brackets one transaction's abort-handler run; collections report each
+/// compensation body via compensation_run(site).  The same site running
+/// twice inside one scope is kDoubleCompensation.
+/// Scopes are tracked PER CPU: handler transactions tick and yield, so
+/// abort scopes of different cpus interleave arbitrarily under the fiber
+/// scheduler and a global stack would misattribute compensations.
+void abort_scope_begin(const TxnId& id);
+void abort_scope_end(int cpu);
+void compensation_run(int cpu, const void* site);
+/// Brackets one handler transaction's outcome inside the cpu's abort scope.
+/// The runtime runs each abort handler as a detached open transaction that
+/// can itself be doomed (the aborting transaction's reader-directory refs
+/// are still live) and retried; an aborted attempt rolled its effects back,
+/// so its compensation notes must be forgotten before the retry re-runs the
+/// body — only attempts that COMMIT count toward double-run detection.
+void compensation_handler_committed(int cpu);
+void compensation_handler_aborted(int cpu);
 
 // ---- hooks: transaction lifecycle (called by tm/runtime.cpp) ----
 void handler_pairing(const TxnId& id, std::size_t top_commit_handlers,
@@ -117,6 +151,12 @@ inline const std::vector<std::string>& reports() {
 inline void lock_acquired(const TxnId&, const void*) {}
 inline void lock_released(const TxnId&, const void*) {}
 inline void locks_released_all(const TxnId&, const void*) {}
+inline void lock_release_noop(const TxnId&, const void*) {}
+inline void abort_scope_begin(const TxnId&) {}
+inline void abort_scope_end(int) {}
+inline void compensation_run(int, const void*) {}
+inline void compensation_handler_committed(int) {}
+inline void compensation_handler_aborted(int) {}
 inline void handler_pairing(const TxnId&, std::size_t, std::size_t) {}
 inline void txn_finished(const TxnId&, bool) {}
 inline void check_txn_sets(const detail::Txn&) {}

@@ -78,6 +78,12 @@ TxnId Runtime::self_id() {
   return TxnId{b->cpu, b->incarnation};
 }
 
+bool Runtime::txn_live(const TxnId& id) {
+  if (id.cpu < 0 || id.cpu >= eng_.config().num_cpus) return false;
+  Txn* b = bottom_of(id.cpu);
+  return b != nullptr && b->incarnation == id.incarnation;
+}
+
 bool Runtime::violate(const TxnId& victim) {
   if (victim.cpu < 0) return false;
   Txn* b = bottom_of(victim.cpu);
@@ -446,6 +452,7 @@ void Runtime::commit_txn(Txn* t) {
   }
   if (tracer_ != nullptr)
     tracer_->on_txn_commit(t->cpu, eng_.now(), t->open, t->writes.size());
+  notify_txn_sets(t, /*committed=*/true);
   c.cur = t->parent;
   release_txn(t);
   if (!purgatory_.empty()) collect_garbage();
@@ -453,9 +460,16 @@ void Runtime::commit_txn(Txn* t) {
 
 void Runtime::abort_txn(Txn* t) {
   CpuCtx& c = ctx(t->cpu);
+  // A detached handler transaction doomed mid-compensation (the aborting
+  // owner's reader-directory refs are still live, so a concurrent commit can
+  // flag it): its effects rolled back and run_txn retries it, so the audit
+  // must forget this attempt's compensation notes.
+  if (c.in_abort_handlers && t->parent == nullptr && t->open)
+    audit::compensation_handler_aborted(t->cpu);
   // Unwind any frames the exception path has not popped (it pops all of its
   // own; this is belt-and-braces for user exceptions thrown mid-frame).
   while (t->depth > 0) pop_frame_abort(*t);
+  notify_txn_sets(t, /*committed=*/false);
 
   eng_.memsys().abort_clear_speculative(t->cpu);
   auto& st = eng_.stats().cpu(t->cpu);
@@ -485,17 +499,25 @@ void Runtime::abort_txn(Txn* t) {
     c.cur = nullptr;
     const bool saved_flag = c.in_abort_handlers;
     c.in_abort_handlers = true;
+    // Scope the compensation run for the auditor: a collection compensation
+    // that executes twice for the same aborted incarnation (e.g. a handler
+    // registered twice) is detectable only within this bracket, because the
+    // handler itself resets its collection-local state on first run.
+    audit::abort_scope_begin(TxnId{t->cpu, t->incarnation});
     try {
       for (std::size_t i = t->abort_handlers.size(); i > 0; --i) {
         auto h = std::move(t->abort_handlers[i - 1]);
         run_txn(t->cpu, /*open=*/true, [&h] { h(); });
+        audit::compensation_handler_committed(t->cpu);
       }
     } catch (...) {
+      audit::abort_scope_end(t->cpu);
       c.in_abort_handlers = saved_flag;
       c.cur = saved;
       release_txn(t);
       throw;
     }
+    audit::abort_scope_end(t->cpu);
     c.in_abort_handlers = saved_flag;
     c.cur = saved;
   }
@@ -510,6 +532,21 @@ void Runtime::abort_txn(Txn* t) {
                                 cm_->backoff_cycles(t->cpu, t->attempt);
   release_txn(t);
   eng_.tick(penalty);
+}
+
+void Runtime::notify_txn_sets(Txn* t, bool committed) {
+  if (mc_observer_ == nullptr) return;
+  mc_reads_scratch_.clear();
+  mc_writes_scratch_.clear();
+  t->read_frame.for_each([this](sim::LineAddr line, const std::int32_t&) {
+    mc_reads_scratch_.push_back(line);
+  });
+  scratch_seen_.clear();
+  for (const auto& w : t->writes) {
+    const sim::LineAddr line = sim::line_of(w.addr);
+    if (scratch_seen_.try_emplace(line, 0).second) mc_writes_scratch_.push_back(line);
+  }
+  mc_observer_->on_txn_sets(t->cpu, committed, t->open, mc_reads_scratch_, mc_writes_scratch_);
 }
 
 void Runtime::collect_garbage() {
@@ -531,6 +568,7 @@ void Runtime::tm_read(std::uintptr_t addr, void* out, std::uint32_t size,
   const int cpu = eng_.cpu_id();
   check_kill(cpu);
   eng_.advance_to(eng_.memsys().tx_load(cpu, addr, eng_.now()));
+  if (mc_observer_ != nullptr) mc_observer_->on_access(cpu, sim::line_of(addr), false);
   Txn* t = ctx(cpu).cur;
   if (t == nullptr) {  // non-transactional read in Tcc mode: committed value
     std::memcpy(out, committed, size);
@@ -567,6 +605,7 @@ void Runtime::tm_write(std::uintptr_t addr, const void* in, std::uint32_t size,
   const int cpu = eng_.cpu_id();
   check_kill(cpu);
   eng_.advance_to(eng_.memsys().tx_store(cpu, addr, eng_.now()));
+  if (mc_observer_ != nullptr) mc_observer_->on_access(cpu, sim::line_of(addr), true);
   Txn* t = ctx(cpu).cur;
   if (t == nullptr) {
     // Non-transactional store in Tcc mode: commits instantly; flag any

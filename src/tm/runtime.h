@@ -254,6 +254,26 @@ class Runtime {
     if (tracer_ != nullptr && name != nullptr) tracer_->name_table(table, name);
   }
 
+  /// txmc instrumentation: observes transactional memory accesses as they
+  /// happen and each transaction's final read/write line sets (the FlatMap
+  /// sets the Txn maintains, delivered at commit/abort).  The model checker
+  /// feeds these to its DPOR-style dependency reduction.  Null by default;
+  /// when unset the access path pays one predictable branch.
+  class McObserver {
+   public:
+    virtual ~McObserver() = default;
+    /// A transactional (or naked, in Tcc mode) load/store of `line` by `cpu`.
+    virtual void on_access(int cpu, sim::LineAddr line, bool is_write) = 0;
+    /// A transaction finished: its read-set lines and de-duplicated
+    /// write-set lines.  `open` marks open-nested children.
+    virtual void on_txn_sets(int cpu, bool committed, bool open,
+                             const std::vector<sim::LineAddr>& reads,
+                             const std::vector<sim::LineAddr>& writes) = 0;
+  };
+  /// Installs (or clears, with nullptr) the model-checker observer.
+  void set_mc_observer(McObserver* o) { mc_observer_ = o; }
+  McObserver* mc_observer() const { return mc_observer_; }
+
   // ---- transactional region API ----
 
   /// Runs `fn` as a transaction: top-level if none is active on this CPU,
@@ -306,6 +326,11 @@ class Runtime {
   /// True if the calling CPU is inside any transaction.
   bool in_txn();
 
+  /// True if `id` names the currently running top-level incarnation on its
+  /// CPU (same liveness test violate() applies).  Observation only — used by
+  /// the txmc oracle to tell a stale lock prune from a live double release.
+  bool txn_live(const TxnId& id);
+
   // ---- memory access (used by Shared<T>; Tcc mode only) ----
   void tm_read(std::uintptr_t addr, void* out, std::uint32_t size, const void* committed);
   void tm_write(std::uintptr_t addr, const void* in, std::uint32_t size, void* committed);
@@ -351,6 +376,7 @@ class Runtime {
     if (flagged != nullptr) report_violation(cpu, flagged);
   }
   [[noreturn]] void report_violation(int cpu, detail::Txn* flagged);
+  void notify_txn_sets(detail::Txn* t, bool committed);  // mc observer fan-out
   void acquire_token(int cpu);
   void release_token(int cpu);
   void flag_readers(sim::LineAddr line, int committer);
@@ -432,6 +458,11 @@ class Runtime {
   // Commit-broadcast scratch (write-set line dedup), reused across commits.
   std::vector<sim::LineAddr> scratch_lines_;
   sim::FlatMap<sim::LineAddr, char> scratch_seen_;
+
+  // txmc observer (null outside model-checking runs).
+  McObserver* mc_observer_ = nullptr;
+  std::vector<sim::LineAddr> mc_reads_scratch_;
+  std::vector<sim::LineAddr> mc_writes_scratch_;
 
   // Global commit token (TCC commit arbitration): serializes commits and
   // makes commit handlers immune to violation while they run.

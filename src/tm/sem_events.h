@@ -1,0 +1,83 @@
+// Semantic-event observation points for txmc (src/mc).
+//
+// The lock tables (core/lockers.h) and collection handlers already call the
+// TXCC_CHECKED auditor at every semantic event; txmc's serializability
+// oracle needs the same stream in *unchecked* builds, at run time, scoped to
+// one simulation.  This header provides that channel: a thread_local
+// Observer slot the model checker installs around a run.  When the slot is
+// empty (the default, and always in production workloads) every hook is a
+// single predictable branch.
+//
+// Thread model matches the auditor's: one Runtime per host thread, all
+// fibers of an engine on that thread, so a thread_local slot observes
+// exactly one simulation.
+#pragma once
+
+namespace atomos {
+
+struct TxnId;
+
+namespace sem {
+
+/// Receives semantic events.  Default implementations ignore everything, so
+/// an observer overrides only what it needs.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  /// `owner` took a read-intent lock in `table` (LockerSet identity; per-key
+  /// sets inside a KeyLockTable keep per-key identity here).
+  virtual void on_lock_acquired(const TxnId& /*owner*/, const void* /*table*/) {}
+  /// `owner` released a lock it held in `table`.
+  virtual void on_lock_released(const TxnId& /*owner*/, const void* /*table*/) {}
+  /// Every range lock `owner` held in `table` was released at once.
+  virtual void on_locks_released_all(const TxnId& /*owner*/, const void* /*table*/) {}
+  /// A release request found nothing to release: either a stale prune of a
+  /// finished incarnation (benign) or a double release by a live one (the
+  /// observer decides, e.g. by tracking which incarnations have settled).
+  virtual void on_lock_release_noop(const TxnId& /*owner*/, const void* /*table*/) {}
+  /// A settled (finished-incarnation) owner was pruned from a locker set
+  /// during commit-time conflict detection.
+  virtual void on_lock_pruned(const TxnId& /*owner*/, const void* /*table*/) {}
+  /// A collection compensation (abort-handler body) started running at
+  /// `site` (the collection instance).
+  virtual void on_compensation_run(const void* /*site*/) {}
+};
+
+inline Observer*& observer_slot() {
+  thread_local Observer* slot = nullptr;
+  return slot;
+}
+
+inline void lock_acquired(const TxnId& owner, const void* table) {
+  if (Observer* o = observer_slot()) o->on_lock_acquired(owner, table);
+}
+inline void lock_released(const TxnId& owner, const void* table) {
+  if (Observer* o = observer_slot()) o->on_lock_released(owner, table);
+}
+inline void locks_released_all(const TxnId& owner, const void* table) {
+  if (Observer* o = observer_slot()) o->on_locks_released_all(owner, table);
+}
+inline void lock_release_noop(const TxnId& owner, const void* table) {
+  if (Observer* o = observer_slot()) o->on_lock_release_noop(owner, table);
+}
+inline void lock_pruned(const TxnId& owner, const void* table) {
+  if (Observer* o = observer_slot()) o->on_lock_pruned(owner, table);
+}
+inline void compensation_run(const void* site) {
+  if (Observer* o = observer_slot()) o->on_compensation_run(site);
+}
+
+/// RAII installation for the duration of one simulated run.
+class ScopedObserver {
+ public:
+  explicit ScopedObserver(Observer* o) : prev_(observer_slot()) { observer_slot() = o; }
+  ~ScopedObserver() { observer_slot() = prev_; }
+  ScopedObserver(const ScopedObserver&) = delete;
+  ScopedObserver& operator=(const ScopedObserver&) = delete;
+
+ private:
+  Observer* prev_;
+};
+
+}  // namespace sem
+}  // namespace atomos

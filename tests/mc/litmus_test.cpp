@@ -1,0 +1,127 @@
+// End-to-end model-checker tests over the litmus corpus: every clean
+// program is violation-free across its explored schedules, every seeded
+// mutant is caught with its expected anomaly class, counterexamples replay
+// to the same violations, and runs are deterministic.
+#include "mc/explorer.h"
+#include "mc/litmus.h"
+#include "mc/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mc {
+namespace {
+
+TEST(LitmusTest, CorpusShape) {
+  int clean = 0, mutants = 0;
+  for (const Program& p : programs()) {
+    if (p.mutant) {
+      ++mutants;
+      EXPECT_TRUE(p.expected.has_value()) << p.name;
+    } else {
+      ++clean;
+    }
+  }
+  EXPECT_GE(clean, 8);
+  EXPECT_GE(mutants, 6);
+  // The seeded bugs span at least 5 distinct anomaly classes.
+  std::set<Anomaly> classes;
+  for (const Program& p : programs()) {
+    if (p.mutant) classes.insert(*p.expected);
+  }
+  EXPECT_GE(classes.size(), 5u);
+  EXPECT_EQ(find_program("map_rmw")->name, "map_rmw");
+  EXPECT_EQ(find_program("no_such_program"), nullptr);
+}
+
+TEST(LitmusTest, CleanProgramsHaveNoViolations) {
+  ExploreOptions opt;  // defaults mirror the CI budget
+  for (const Program& p : programs()) {
+    if (p.mutant) continue;
+    const ExploreResult res = explore(p, opt);
+    EXPECT_GE(res.runs, 1) << p.name;
+    EXPECT_TRUE(res.counterexamples.empty())
+        << p.name << ": " << res.counterexamples.front().violations.front().detail;
+  }
+}
+
+TEST(LitmusTest, EveryMutantCaughtWithExpectedClass) {
+  ExploreOptions opt;
+  for (const Program& p : programs()) {
+    if (!p.mutant) continue;
+    const ExploreResult res = explore(p, opt);
+    EXPECT_TRUE(res.found(*p.expected))
+        << p.name << " not caught as " << anomaly_name(*p.expected) << " in "
+        << res.runs << " runs";
+  }
+}
+
+TEST(LitmusTest, CounterexampleReplaysToSameViolation) {
+  const Program* p = find_program("mut_double_release");
+  ASSERT_NE(p, nullptr);
+  const ExploreResult res = explore(*p, ExploreOptions{});
+  ASSERT_FALSE(res.counterexamples.empty());
+  const Counterexample& cx = res.counterexamples.front();
+
+  // Round-trip the replay string, then re-run under the decoded schedule.
+  Schedule decoded;
+  ASSERT_TRUE(decode(encode(cx.schedule), decoded));
+  EXPECT_EQ(decoded, cx.schedule);
+
+  const RunResult replay = run_program(*p, decoded);
+  EXPECT_FALSE(replay.diverged);
+  EXPECT_EQ(replay.executed, cx.schedule);
+  ASSERT_EQ(replay.violations.size(), cx.violations.size());
+  for (std::size_t i = 0; i < replay.violations.size(); ++i) {
+    EXPECT_EQ(replay.violations[i].kind, cx.violations[i].kind);
+  }
+}
+
+TEST(LitmusTest, DefaultScheduleIsDeterministic) {
+  const Program* p = find_program("map_rmw");
+  ASSERT_NE(p, nullptr);
+  const RunResult a = run_program(*p, Schedule{});
+  const RunResult b = run_program(*p, Schedule{});
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_TRUE(a.violations.empty());
+  EXPECT_FALSE(a.executed.choices.empty());  // two cpus must interleave
+
+  // Forcing the full executed schedule reproduces it exactly.
+  const RunResult c = run_program(*p, a.executed);
+  EXPECT_FALSE(c.diverged);
+  EXPECT_EQ(c.executed, a.executed);
+}
+
+TEST(LitmusTest, ForcedAlternateScheduleDiverges) {
+  // Flip the first branching decision: a different, still deterministic
+  // interleaving results — and the executed schedule starts with the flip.
+  const Program* p = find_program("map_rmw");
+  ASSERT_NE(p, nullptr);
+  const RunResult base = run_program(*p, Schedule{});
+  ASSERT_FALSE(base.executed.choices.empty());
+
+  Schedule flipped;
+  flipped.choices.push_back(base.executed.choices[0] == 0 ? 1 : 0);
+  const RunResult alt1 = run_program(*p, flipped);
+  const RunResult alt2 = run_program(*p, flipped);
+  EXPECT_FALSE(alt1.diverged);
+  EXPECT_EQ(alt1.executed, alt2.executed);
+  ASSERT_FALSE(alt1.executed.choices.empty());
+  EXPECT_EQ(alt1.executed.choices[0], flipped.choices[0]);
+  EXPECT_NE(alt1.executed, base.executed);
+  EXPECT_TRUE(alt1.violations.empty());  // clean program: every schedule legal
+}
+
+TEST(LitmusTest, ExhaustiveModeCoversReducedFindings) {
+  // Reduction is a heuristic; --exhaustive must still catch the mutant.
+  const Program* p = find_program("mut_lock_leak");
+  ASSERT_NE(p, nullptr);
+  ExploreOptions opt;
+  opt.reduce = false;
+  const ExploreResult res = explore(*p, opt);
+  EXPECT_TRUE(res.found(Anomaly::kLockLeak));
+}
+
+}  // namespace
+}  // namespace mc

@@ -1,0 +1,52 @@
+// Replay-string encode/decode round trips and rejection of malformed input.
+#include "mc/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace mc {
+namespace {
+
+TEST(ScheduleTest, EncodeEmpty) {
+  EXPECT_EQ(encode(Schedule{}), "v1:");
+}
+
+TEST(ScheduleTest, EncodeBase32Digits) {
+  Schedule s;
+  s.choices = {0, 9, 10, 31};
+  EXPECT_EQ(encode(s), "v1:09av");
+}
+
+TEST(ScheduleTest, RoundTripAllDigits) {
+  Schedule s;
+  for (int i = 0; i < 32; ++i) s.choices.push_back(i);
+  Schedule back;
+  ASSERT_TRUE(decode(encode(s), back));
+  EXPECT_EQ(back, s);
+}
+
+TEST(ScheduleTest, DecodeEmptyBody) {
+  Schedule out;
+  out.choices = {7};  // sentinel: must be replaced
+  ASSERT_TRUE(decode("v1:", out));
+  EXPECT_TRUE(out.choices.empty());
+}
+
+TEST(ScheduleTest, DecodeRejectsMissingPrefix) {
+  Schedule out;
+  out.choices = {7};
+  EXPECT_FALSE(decode("0101", out));
+  EXPECT_FALSE(decode("", out));
+  EXPECT_FALSE(decode("v2:01", out));
+  // A failed decode leaves `out` untouched.
+  EXPECT_EQ(out.choices, (std::vector<int>{7}));
+}
+
+TEST(ScheduleTest, DecodeRejectsBadDigit) {
+  Schedule out;
+  EXPECT_FALSE(decode("v1:01w", out));  // 'w' is past base-32
+  EXPECT_FALSE(decode("v1:0 1", out));
+  EXPECT_FALSE(decode("v1:0A", out));  // upper case is not in the alphabet
+}
+
+}  // namespace
+}  // namespace mc

@@ -1,0 +1,142 @@
+// Engine SchedulerHook regression tests.
+//
+// The hook must be a pure observation point when it defers: a hook that
+// returns kUseDefault at every decision yields BIT-IDENTICAL simulated
+// cycles to running with no hook at all, pinned here against the fig1
+// golden value.  A hook that scripts its own policy produces a different
+// but fully deterministic interleaving, and a recorded decision sequence
+// replays to the same run.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/testmap_common.h"
+
+namespace {
+
+/// Defers every decision to the engine's own min-clock policy.
+class PassThroughHook final : public sim::SchedulerHook {
+ public:
+  int pick(const std::vector<int>& runnable) override {
+    ++decisions_;
+    EXPECT_FALSE(runnable.empty());
+    return kUseDefault;
+  }
+  std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  std::uint64_t decisions_ = 0;
+};
+
+/// Always runs the highest-id runnable cpu — the opposite of min-clock —
+/// and records every choice for replay.
+class ScriptedHook final : public sim::SchedulerHook {
+ public:
+  int pick(const std::vector<int>& runnable) override {
+    const int c = runnable.back();
+    trace_.push_back(c);
+    return c;
+  }
+  const std::vector<int>& trace() const { return trace_; }
+
+ private:
+  std::vector<int> trace_;
+};
+
+/// Replays a recorded decision sequence verbatim, then defers.
+class ReplayHook final : public sim::SchedulerHook {
+ public:
+  explicit ReplayHook(std::vector<int> trace) : trace_(std::move(trace)) {}
+  int pick(const std::vector<int>& runnable) override {
+    (void)runnable;
+    if (next_ < trace_.size()) return trace_[next_++];
+    return kUseDefault;
+  }
+
+ private:
+  std::vector<int> trace_;
+  std::size_t next_ = 0;
+};
+
+/// The fig1 "Atomos TransactionalMap" small configuration, inlined so a
+/// hook can be installed before the run (the bench Series helpers build
+/// their Engine internally).
+std::uint64_t run_fig1_small(int cpus, sim::SchedulerHook* hook) {
+  bench::TestMapParams p;
+  p.total_ops = 640;
+  p.think_cycles = 1000;
+  p.seed = 12345;
+
+  sim::Engine eng(bench::make_cfg(sim::Mode::kTcc, cpus));
+  if (hook != nullptr) eng.set_scheduler_hook(hook);
+  atomos::Runtime rt(eng);
+  auto map = std::make_unique<tcc::TransactionalMap<long, long>>(
+      std::make_unique<jstd::HashMap<long, long>>(static_cast<std::size_t>(p.key_space) * 2));
+  for (long k = 0; k < p.prepopulate; ++k) map->put(k * 2 % p.key_space, k);
+  const int per_cpu = p.total_ops / cpus;
+  for (int c = 0; c < cpus; ++c) {
+    eng.spawn([&, c] {
+      std::uint64_t s = p.seed + static_cast<std::uint64_t>(c) * 7919;
+      for (int i = 0; i < per_cpu; ++i) {
+        std::uint64_t body_seed = s;
+        atomos::atomically([&] {
+          std::uint64_t bs = body_seed;
+          atomos::work(p.think_cycles / 2);
+          bench::testmap_op(*map, p.key_space, bs);
+          atomos::work(p.think_cycles / 2);
+        });
+        bench::rnd(s);
+        bench::rnd(s);
+      }
+    });
+  }
+  eng.run();
+  return eng.elapsed_cycles();
+}
+
+TEST(SchedulerHookTest, PassThroughMatchesFig1Golden) {
+  // Golden pin from tests/core/golden_cycles_test.cpp: any drift here means
+  // consulting the hook perturbed the engine's own schedule.
+  PassThroughHook hook;
+  EXPECT_EQ(run_fig1_small(8, &hook), 85448ULL);
+  EXPECT_GT(hook.decisions(), 0u);
+}
+
+TEST(SchedulerHookTest, PassThroughMatchesNoHookEverywhere) {
+  for (int cpus : {1, 2, 4}) {
+    const std::uint64_t bare = run_fig1_small(cpus, nullptr);
+    PassThroughHook hook;
+    EXPECT_EQ(run_fig1_small(cpus, &hook), bare) << "cpus=" << cpus;
+  }
+}
+
+TEST(SchedulerHookTest, ScriptedHookIsDeterministicAndReplayable) {
+  ScriptedHook a;
+  const std::uint64_t cycles_a = run_fig1_small(2, &a);
+  ScriptedHook b;
+  const std::uint64_t cycles_b = run_fig1_small(2, &b);
+  EXPECT_EQ(cycles_a, cycles_b);
+  EXPECT_EQ(a.trace(), b.trace());
+  ASSERT_FALSE(a.trace().empty());
+
+  // The recorded decisions replay to the exact same run.
+  ReplayHook replay(a.trace());
+  EXPECT_EQ(run_fig1_small(2, &replay), cycles_a);
+
+  // And the max-clock policy genuinely diverges from the default schedule.
+  EXPECT_NE(cycles_a, run_fig1_small(2, nullptr));
+}
+
+TEST(SchedulerHookTest, HookChangeDuringRunIsRejected) {
+  sim::Engine eng(bench::make_cfg(sim::Mode::kTcc, 1));
+  atomos::Runtime rt(eng);
+  PassThroughHook hook;
+  eng.spawn([&] {
+    EXPECT_THROW(eng.set_scheduler_hook(&hook), std::logic_error);
+  });
+  eng.run();
+}
+
+}  // namespace

@@ -30,14 +30,14 @@ bool fires_at(const std::vector<Finding>& fs, std::string_view rule, int line) {
                      [&](const Finding& f) { return f.rule == rule && f.line == line; });
 }
 
-TEST(TxlintRules, SevenRulesRegistered) {
+TEST(TxlintRules, EightRulesRegistered) {
   const auto& rs = rules();
-  ASSERT_EQ(rs.size(), 7u);
+  ASSERT_EQ(rs.size(), 8u);
   std::vector<std::string_view> names;
   for (const auto& r : rs) names.push_back(r.name);
   for (const char* want : {"shared-field", "raw-peek", "catch-swallow",
                            "unpaired-handler", "shared-value-capture",
-                           "trace-hook", "isolation-class"}) {
+                           "trace-hook", "isolation-class", "handler-mutation"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), want), names.end()) << want;
   }
 }
@@ -296,6 +296,46 @@ TEST(IsolationClassRule, ExemptsNodeTypesOtherNamespacesAndNonSharedMembers) {
       "class TransactionalMap { atomos::Shared<long> gen_; };\n"  // not a counter
       "}\n";
   EXPECT_TRUE(of_rule(scan(src), "isolation-class").empty());
+}
+
+// ---- handler-mutation ----
+
+TEST(HandlerMutationRule, FlagsUnregisteredMutationsInAbortAndCommitHandlers) {
+  const std::string src =
+      "void restore(Bag* bag, long k, long v) {\n"                      // 1
+      "  rt.on_top_abort([bag, k, v] {\n"                               // 2
+      "    bag->put(k, v);\n"                                           // 3  <- unregistered
+      "  });\n"                                                         // 4
+      "}\n"                                                             // 5
+      "void publish(Bag* bag, long k) {\n"                              // 6
+      "  rt.on_top_commit([bag, k] { bag->remove(k); });\n"             // 7  <- unregistered
+      "  rt.on_top_abort([] {});\n"                                     // 8
+      "}\n";
+  const auto fs = scan(src);
+  const auto hm = of_rule(fs, "handler-mutation");
+  EXPECT_EQ(hm.size(), 2u);
+  EXPECT_TRUE(fires_at(fs, "handler-mutation", 3));
+  EXPECT_TRUE(fires_at(fs, "handler-mutation", 7));
+}
+
+TEST(HandlerMutationRule, AllowsRegisteredMutationsAndNonMutatingHandlers) {
+  const std::string src =
+      "void restore(Bag* bag, long k, long v) {\n"
+      "  rt.on_top_abort([bag, k, v] {\n"
+      "    atomos::audit::compensation_run(0, bag);\n"  // site registered
+      "    bag->put(k, v);\n"
+      "  });\n"
+      "}\n"
+      "void dispatch(Map* self, int cpu) {\n"
+      "  rt.on_top_abort([self, cpu] { self->abort_handler(cpu); });\n"  // dispatch-only
+      "}\n"
+      "void release(Locks* locks, long k) {\n"
+      "  rt.on_top_abort([locks, k] { locks->unlock(k); });\n"  // lock release
+      "}\n"
+      "void local_use(Bag* bag) {\n"
+      "  insert(bag);\n"  // free call, not a method on a collection
+      "}\n";
+  EXPECT_TRUE(of_rule(scan(src), "handler-mutation").empty());
 }
 
 // ---- suppressions and options ----

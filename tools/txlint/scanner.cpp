@@ -21,6 +21,7 @@ constexpr std::string_view kUnpairedHandler = "unpaired-handler";
 constexpr std::string_view kSharedCapture = "shared-value-capture";
 constexpr std::string_view kTraceHook = "trace-hook";
 constexpr std::string_view kIsolationClass = "isolation-class";
+constexpr std::string_view kHandlerMutation = "handler-mutation";
 
 const std::vector<RuleInfo> kRules = {
     {kSharedField,
@@ -45,6 +46,11 @@ const std::vector<RuleInfo> kRules = {
      "counter) never constructed with an explicit sim:: memory class — it "
      "defaults to the packed data arena and can share a virtual line with "
      "unrelated hot cells"},
+    {kHandlerMutation,
+     "collection mutation inside an on_abort/on_commit handler body with no "
+     "compensation_run site registration — the runtime auditor and the txmc "
+     "oracle cannot attribute the compensation, so a doubled or lost handler "
+     "run corrupts the collection silently"},
 };
 
 // ---------------------------------------------------------------------------
@@ -372,6 +378,17 @@ const std::unordered_set<std::string_view> kTraceHookTmAccess = {
     "Shared", "atomically", "open_atomically", "tm_read", "tm_write",
     "unsafe_peek"};
 
+// Collection-mutating method names.  A handler lambda that calls one of
+// these on an object must register the compensation site first
+// (audit::compensation_run / sem::compensation_run), the way the
+// transactional collections' abort handlers do.  Lock-release calls
+// (unlock / release / clear) are intentionally absent: releasing semantic
+// locks in a handler is the disciplined pattern, not a mutation.
+const std::unordered_set<std::string_view> kCollectionMutators = {
+    "put",     "remove",     "insert",  "erase",   "push",    "pop",
+    "push_back", "push_front", "pop_back", "pop_front", "enqueue", "dequeue",
+    "add",     "take"};
+
 // Tokens that count as declaring a memory class at a Shared cell's
 // construction site (sim/vaddr.h).  String labels are blanked by
 // clean_source, so the rule keys on identifier tokens only.
@@ -392,6 +409,7 @@ class Scanner {
     walk();
     catch_pass();
     isolation_pass();
+    handler_mutation_pass();
     std::sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
       return a.line != b.line ? a.line < b.line : a.rule < b.rule;
     });
@@ -957,6 +975,64 @@ class Scanner {
              std::string(is_violated ? "catch of atomos::Violated" : "catch (...)") +
                  " neither rethrows nor aborts — it can swallow the TM violation "
                  "unwind and corrupt transaction state");
+      }
+    }
+  }
+
+  // ---- handler-mutation pass ----
+
+  /// Finds each lambda registered directly in an on_abort / on_top_abort /
+  /// on_commit / on_top_commit call and checks its body: a direct
+  /// collection-mutating method call (`bag->put(...)`, `q.remove(...)`)
+  /// must be covered by a compensation_run site registration in the same
+  /// body.  Handlers that only dispatch (`self->abort_handler(cpu)`) or
+  /// only release locks never match a mutator and stay silent.
+  void handler_mutation_pass() {
+    for (std::size_t i = 0; i + 2 < toks_.size(); ++i) {
+      const std::string_view id = toks_[i].text;
+      if (id != "on_abort" && id != "on_top_abort" && id != "on_commit" &&
+          id != "on_top_commit") {
+        continue;
+      }
+      if (toks_[i].kind != Token::Kind::kIdent || !is(i + 1, "(") || is(i + 2, ")")) {
+        continue;  // definition signature or argless call, not a registration
+      }
+      const std::size_t pclose = match(i + 1);
+      if (pclose >= toks_.size()) continue;
+      // The registered handler must be a lambda literal to inspect.
+      std::size_t lam = i + 2;
+      while (lam < pclose && !is(lam, "[")) ++lam;
+      if (lam >= pclose) continue;
+      std::size_t j = match(lam) + 1;        // past the capture list
+      if (is(j, "(")) j = match(j) + 1;      // past the parameter list
+      while (j < pclose && !is(j, "{")) ++j;  // past mutable/noexcept/-> T
+      if (!is(j, "{")) continue;
+      const std::size_t bend = match(j);
+
+      bool compensated = false;
+      std::string_view mutator;
+      int mutator_line = -1;
+      for (std::size_t k = j + 1; k < bend && k < toks_.size(); ++k) {
+        if (toks_[k].kind != Token::Kind::kIdent) continue;
+        if (toks_[k].text == "compensation_run") {
+          compensated = true;
+          break;
+        }
+        if (mutator_line < 0 && kCollectionMutators.count(toks_[k].text) != 0 &&
+            k > 0 && (toks_[k - 1].text == "." || toks_[k - 1].text == "->") &&
+            is(k + 1, "(")) {
+          mutator = toks_[k].text;
+          mutator_line = toks_[k].line;
+        }
+      }
+      if (mutator_line >= 0 && !compensated) {
+        const bool abort_handler = id == "on_abort" || id == "on_top_abort";
+        emit(kHandlerMutation, mutator_line,
+             "collection mutation '" + std::string(mutator) + "' inside " +
+                 (abort_handler ? "an abort" : "a commit") + " handler with no "
+                 "compensation_run registration — record the site first "
+                 "(audit::compensation_run / sem::compensation_run) so the "
+                 "checked runtime and the txmc oracle can attribute it");
       }
     }
   }

@@ -1,0 +1,233 @@
+// txmc — schedule-exploration serializability checker for the
+// transactional collection classes.
+//
+// Explores thread interleavings of the litmus corpus (src/mc/litmus.cpp)
+// under the simulator's scheduling hook, checks every run's committed
+// history against the collections' sequential specifications, and prints a
+// compact replay string for every violating schedule.  A replay string
+// re-executes the exact same interleaving:
+//
+//   txmc --all                          # explore the whole corpus
+//   txmc --program mut_lost_update      # one program
+//   txmc --program mut_lost_update --replay v1:010
+//   txmc --all --artifacts out/         # write <program>.replay files
+//
+// Exit codes: 0 = corpus behaves as expected (clean programs violation-free
+// within budget, every mutant caught with its expected anomaly class);
+// 1 = unexpected violation or missed mutant; 2 = usage error.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mc/explorer.h"
+#include "mc/litmus.h"
+#include "mc/schedule.h"
+
+namespace {
+
+struct Options {
+  bool list = false;
+  bool all = false;
+  bool exhaustive = false;
+  bool verbose = false;
+  std::string program;
+  std::string replay;
+  std::string artifacts;
+  int max_runs = 500;
+  int max_depth = 64;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: txmc (--list | --all | --program NAME) [options]\n"
+               "  --list             list the litmus corpus\n"
+               "  --all              explore every program\n"
+               "  --program NAME     explore one program\n"
+               "  --replay SCHED     run NAME once under a v1: replay string\n"
+               "  --max-runs N       schedule budget per program (default 500)\n"
+               "  --depth N          max branching depth expanded (default 64)\n"
+               "  --exhaustive       disable dependence-based reduction\n"
+               "  --artifacts DIR    write <program>.replay counterexample files\n"
+               "  --verbose          print every counterexample\n");
+}
+
+bool parse(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "txmc: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--list") {
+      o.list = true;
+    } else if (a == "--all") {
+      o.all = true;
+    } else if (a == "--exhaustive") {
+      o.exhaustive = true;
+    } else if (a == "--verbose") {
+      o.verbose = true;
+    } else if (a == "--program") {
+      const char* v = value("--program");
+      if (v == nullptr) return false;
+      o.program = v;
+    } else if (a == "--replay") {
+      const char* v = value("--replay");
+      if (v == nullptr) return false;
+      o.replay = v;
+    } else if (a == "--artifacts") {
+      const char* v = value("--artifacts");
+      if (v == nullptr) return false;
+      o.artifacts = v;
+    } else if (a == "--max-runs") {
+      const char* v = value("--max-runs");
+      if (v == nullptr) return false;
+      o.max_runs = std::atoi(v);
+    } else if (a == "--depth") {
+      const char* v = value("--depth");
+      if (v == nullptr) return false;
+      o.max_depth = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "txmc: unknown flag %s\n", a.c_str());
+      return false;
+    }
+  }
+  if (!o.list && !o.all && o.program.empty()) return false;
+  if (o.max_runs <= 0 || o.max_depth <= 0) return false;
+  return true;
+}
+
+void print_violations(const std::vector<mc::Violation>& vs, const char* indent) {
+  for (const mc::Violation& v : vs) {
+    std::printf("%s[%s] %s\n", indent, mc::anomaly_name(v.kind), v.detail.c_str());
+  }
+}
+
+/// Explores one program; returns true if it behaved as expected.
+bool check_program(const mc::Program& prog, const Options& o) {
+  mc::ExploreOptions eopt;
+  eopt.max_runs = o.max_runs;
+  eopt.max_depth = o.max_depth;
+  eopt.reduce = !o.exhaustive;
+  const mc::ExploreResult res = mc::explore(prog, eopt);
+
+  bool ok;
+  if (prog.mutant) {
+    ok = prog.expected.has_value() && res.found(*prog.expected);
+    std::printf("%-20s %4d runs%s  %s", prog.name.c_str(), res.runs,
+                res.budget_exhausted ? " (budget)" : "",
+                ok ? "CAUGHT" : "MISSED");
+    if (ok) {
+      std::printf(" [%s]", mc::anomaly_name(*prog.expected));
+    } else if (prog.expected.has_value()) {
+      std::printf(" [wanted %s]", mc::anomaly_name(*prog.expected));
+    }
+    std::printf("\n");
+  } else {
+    ok = res.counterexamples.empty();
+    std::printf("%-20s %4d runs%s  %s\n", prog.name.c_str(), res.runs,
+                res.budget_exhausted ? " (budget)" : "",
+                ok ? "CLEAN" : "VIOLATION");
+  }
+
+  if (!res.counterexamples.empty() && (o.verbose || !ok || prog.mutant)) {
+    const std::size_t shown = o.verbose ? res.counterexamples.size() : 1;
+    for (std::size_t i = 0; i < shown && i < res.counterexamples.size(); ++i) {
+      const mc::Counterexample& c = res.counterexamples[i];
+      std::printf("  replay %s\n", mc::encode(c.schedule).c_str());
+      print_violations(c.violations, "    ");
+    }
+  }
+
+  if (!o.artifacts.empty() && !res.counterexamples.empty()) {
+    std::filesystem::create_directories(o.artifacts);
+    std::ofstream out(std::filesystem::path(o.artifacts) / (prog.name + ".replay"));
+    for (const mc::Counterexample& c : res.counterexamples) {
+      out << mc::encode(c.schedule) << "\n";
+      for (const mc::Violation& v : c.violations) {
+        out << "  [" << mc::anomaly_name(v.kind) << "] " << v.detail << "\n";
+      }
+    }
+  }
+  return ok;
+}
+
+int replay_program(const mc::Program& prog, const Options& o) {
+  mc::Schedule forced;
+  if (!mc::decode(o.replay, forced)) {
+    std::fprintf(stderr, "txmc: bad replay string %s\n", o.replay.c_str());
+    return 2;
+  }
+  const mc::RunResult run = mc::run_program(prog, forced);
+  std::printf("%s: executed %s%s\n", prog.name.c_str(),
+              mc::encode(run.executed).c_str(),
+              run.diverged ? " (DIVERGED from the forced prefix)" : "");
+  print_violations(run.violations, "  ");
+  if (prog.mutant) {
+    const bool caught = prog.expected.has_value() &&
+                        [&] {
+                          for (const mc::Violation& v : run.violations) {
+                            if (v.kind == *prog.expected) return true;
+                          }
+                          return false;
+                        }();
+    return caught ? 0 : 1;
+  }
+  return run.violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, o)) {
+    usage();
+    return 2;
+  }
+
+  if (o.list) {
+    for (const mc::Program& p : mc::programs()) {
+      std::printf("%-20s %-7s %s%s%s\n", p.name.c_str(),
+                  p.mutant ? "mutant" : "clean", p.description.c_str(),
+                  p.mutant ? " -> " : "",
+                  p.mutant && p.expected ? mc::anomaly_name(*p.expected) : "");
+    }
+    return 0;
+  }
+
+  if (!o.replay.empty()) {
+    if (o.program.empty()) {
+      std::fprintf(stderr, "txmc: --replay needs --program\n");
+      return 2;
+    }
+    const mc::Program* p = mc::find_program(o.program);
+    if (p == nullptr) {
+      std::fprintf(stderr, "txmc: unknown program %s\n", o.program.c_str());
+      return 2;
+    }
+    return replay_program(*p, o);
+  }
+
+  std::vector<const mc::Program*> targets;
+  if (o.all) {
+    for (const mc::Program& p : mc::programs()) targets.push_back(&p);
+  } else {
+    const mc::Program* p = mc::find_program(o.program);
+    if (p == nullptr) {
+      std::fprintf(stderr, "txmc: unknown program %s\n", o.program.c_str());
+      return 2;
+    }
+    targets.push_back(p);
+  }
+
+  bool all_ok = true;
+  for (const mc::Program* p : targets) {
+    if (!check_program(*p, o)) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}
