@@ -91,8 +91,8 @@ constexpr const char* kSectionC =
 
 enum class MapKind { kPlain, kSegmented, kTransactional };
 
-std::string run_segmented(const char* name, MapKind kind) {
-  sim::Engine eng(make_cfg(sim::Mode::kTcc, 16));
+std::string run_segmented(const char* name, MapKind kind, int cpus = 16) {
+  sim::Engine eng(make_cfg(sim::Mode::kTcc, cpus));
   atomos::Runtime rt(eng);
   std::unique_ptr<jstd::Map<long, long>> map;
   switch (kind) {
@@ -110,7 +110,7 @@ std::string run_segmented(const char* name, MapKind kind) {
   TestMapParams p;
   p.think_cycles = 1500;
   for (long k = 0; k < p.prepopulate; ++k) map->put(k * 2 % p.key_space, k);
-  for (int c = 0; c < 16; ++c) {
+  for (int c = 0; c < cpus; ++c) {
     eng.spawn([&, c] {
       std::uint64_t s = 99 + static_cast<std::uint64_t>(c) * 17;
       // Update-heavy: several inserts/removes per transaction, so the
@@ -222,6 +222,26 @@ int main(int argc, char** argv) {
   tasks.push_back({kSectionC, "TransactionalMap", [] {
                      return run_segmented("TransactionalMap (semantic locks)",
                                           MapKind::kTransactional);
+                   }});
+  // CPU-width sweep of the same contrast: per-CPU work is fixed, so these
+  // rows show how segment vs semantic conflict odds scale as the engine's
+  // CPU axis widens past the paper's 16/32 (16 segments saturate long
+  // before 128 writers do).
+  tasks.push_back({kSectionC, "ConcurrentHashMap @64", [] {
+                     return run_segmented("ConcurrentHashMap (16 segments) @64cpu",
+                                          MapKind::kSegmented, 64);
+                   }});
+  tasks.push_back({kSectionC, "TransactionalMap @64", [] {
+                     return run_segmented("TransactionalMap (semantic locks) @64cpu",
+                                          MapKind::kTransactional, 64);
+                   }});
+  tasks.push_back({kSectionC, "ConcurrentHashMap @128", [] {
+                     return run_segmented("ConcurrentHashMap (16 segments) @128cpu",
+                                          MapKind::kSegmented, 128);
+                   }});
+  tasks.push_back({kSectionC, "TransactionalMap @128", [] {
+                     return run_segmented("TransactionalMap (semantic locks) @128cpu",
+                                          MapKind::kTransactional, 128);
                    }});
   tasks.push_back({kSectionD, "optimistic",
                    [] { return run_pessimistic(tcc::Detection::kOptimistic); }});

@@ -209,6 +209,58 @@ harness::BenchResult bench_contended(int txns_per_cpu) {
   return r;
 }
 
+/// Scheduler-decision cost: `cpus` lockstep fibers each ticking one cycle at
+/// a time, so essentially every tick crosses the run limit and forces a full
+/// scheduling decision plus fiber switch.  No TM runtime, no memory system
+/// traffic — this isolates the runnable-index + context-switch cost the
+/// engine pays per simulated event, and how it scales with the CPU count
+/// (the old linear scan was O(cpus) per decision; the heap is O(log cpus)).
+harness::BenchResult bench_sched_scan(int cpus, int ticks_per_cpu) {
+  sim::Config c;
+  c.num_cpus = cpus;
+  c.mode = sim::Mode::kTcc;
+  sim::Engine eng(c);
+  for (int i = 0; i < cpus; ++i) {
+    eng.spawn([ticks_per_cpu] {
+      sim::Engine& e = sim::Engine::get();
+      for (int t = 0; t < ticks_per_cpu; ++t) e.tick(1);
+    });
+  }
+  harness::BenchResult r;
+  r.name = "sched_scan_" + std::to_string(cpus);
+  r.ops = static_cast<std::uint64_t>(cpus) * static_cast<std::uint64_t>(ticks_per_cpu);
+  r.wall_seconds = wall_run(eng);
+  r.sim_cycles = eng.elapsed_cycles();
+  return r;
+}
+
+/// Engine construction/run/teardown churn: `engines` back-to-back Engines,
+/// each spawning `cpus` trivial fibers.  Dominated by fiber stack
+/// acquisition and release — i.e. it measures the per-host-thread stack
+/// pool (a pool hit skips mmap/guard-page setup entirely).  ops counts
+/// fibers created; sim_cycles sums the (identical) runs as the usual
+/// invariance witness.
+harness::BenchResult bench_fiber_spawn(int cpus, int engines) {
+  harness::BenchResult r;
+  r.name = "fiber_spawn_" + std::to_string(cpus);
+  r.ops = static_cast<std::uint64_t>(cpus) * static_cast<std::uint64_t>(engines);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int e = 0; e < engines; ++e) {
+    sim::Config c;
+    c.num_cpus = cpus;
+    c.mode = sim::Mode::kTcc;
+    sim::Engine eng(c);
+    for (int i = 0; i < cpus; ++i) {
+      eng.spawn([] { sim::Engine::get().tick(1); });
+    }
+    eng.run();
+    r.sim_cycles += eng.elapsed_cycles();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
 /// Re-runs a scenario with an in-memory tracer attached (empty path: events
 /// are recorded and audited but never written).  The traced twin's
 /// sim_cycles must equal the plain run's — emission is host-side only — and
@@ -233,6 +285,16 @@ int main(int argc, char** argv) {
   results.push_back(bench_nested_frames(10000));
   results.push_back(bench_open_nested(10000));
   results.push_back(bench_contended(4000));
+  // Engine hot-loop microbenches: scheduler decision cost and fiber
+  // construction/teardown, at the paper scale (8), the old CPU-axis top
+  // (32) and the new top (128).  Total ticks are held constant across the
+  // sched_scan widths so their ops/sec are directly comparable.
+  results.push_back(bench_sched_scan(8, 400000));
+  results.push_back(bench_sched_scan(32, 100000));
+  results.push_back(bench_sched_scan(128, 25000));
+  results.push_back(bench_fiber_spawn(8, 2000));
+  results.push_back(bench_fiber_spawn(32, 500));
+  results.push_back(bench_fiber_spawn(128, 125));
   // Trace-on twins: same work with an in-memory tracer attached, so the
   // JSON records what turning tracing on costs (and witnesses that it
   // leaves simulated cycles untouched).

@@ -14,22 +14,48 @@ int digit_value(char c) {
 }  // namespace
 
 std::string encode(const Schedule& s) {
-  std::string out = "v1:";
-  out.reserve(out.size() + s.choices.size());
+  // Runnable-list indices are bounded by the engine's CPU cap (128), well
+  // inside the two-digit v2 range; anything outside it is a logic error.
+  bool wide = false;
   for (const int c : s.choices) {
-    if (c < 0 || c >= 32) return "v1:<invalid>";
-    out.push_back(kDigits[c]);
+    if (c < 0 || c >= 32 * 32) return "v1:<invalid>";
+    if (c >= 32) wide = true;
+  }
+  if (!wide) {
+    // All indices fit one base-32 digit: keep the v1 form so replay strings
+    // recorded before the CPU axis widened stay byte-identical.
+    std::string out = "v1:";
+    out.reserve(out.size() + s.choices.size());
+    for (const int c : s.choices) out.push_back(kDigits[c]);
+    return out;
+  }
+  std::string out = "v2:";
+  out.reserve(out.size() + 2 * s.choices.size());
+  for (const int c : s.choices) {
+    out.push_back(kDigits[c >> 5]);
+    out.push_back(kDigits[c & 31]);
   }
   return out;
 }
 
 bool decode(const std::string& text, Schedule& out) {
-  if (text.rfind("v1:", 0) != 0) return false;
   Schedule s;
-  for (std::size_t i = 3; i < text.size(); ++i) {
-    const int v = digit_value(text[i]);
-    if (v < 0) return false;
-    s.choices.push_back(v);
+  if (text.rfind("v1:", 0) == 0) {
+    for (std::size_t i = 3; i < text.size(); ++i) {
+      const int v = digit_value(text[i]);
+      if (v < 0) return false;
+      s.choices.push_back(v);
+    }
+  } else if (text.rfind("v2:", 0) == 0) {
+    if ((text.size() - 3) % 2 != 0) return false;
+    for (std::size_t i = 3; i < text.size(); i += 2) {
+      const int hi = digit_value(text[i]);
+      const int lo = digit_value(text[i + 1]);
+      if (hi < 0 || lo < 0) return false;
+      s.choices.push_back((hi << 5) | lo);
+    }
+  } else {
+    return false;
   }
   out = std::move(s);
   return true;

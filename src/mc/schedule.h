@@ -9,10 +9,14 @@
 // interleaving — txmc's one-line reproduce.
 //
 // Encoding "v1": the literal prefix "v1:" followed by one base-32 digit
-// (0-9, a-v) per decision — indices fit, the engine caps num_cpus at 32.
-// A run whose branching decisions outnumber the string's digits continues
-// under the controller's default policy (min clock, lowest id), which is
-// exactly how explorer prefixes work.
+// (0-9, a-v) per decision.  With the engine's CPU axis now reaching 128, a
+// runnable-list index can exceed 31: schedules containing such an index
+// render as "v2:" with two base-32 digits per decision instead.  encode()
+// always emits v1 when every index fits one digit, so replay strings
+// recorded before the axis widened stay byte-identical; decode() accepts
+// both forms.  A run whose branching decisions outnumber the string's
+// digits continues under the controller's default policy (min clock,
+// lowest id), which is exactly how explorer prefixes work.
 #pragma once
 
 #include <string>

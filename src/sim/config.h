@@ -18,6 +18,12 @@ enum class Mode : std::uint8_t {
 
 /// All timing/topology parameters of one simulation.
 struct Config {
+  /// Hard upper bound on num_cpus: the single source of truth every
+  /// CPU-indexed bitmask in the simulator (reader directory, MESI sharer
+  /// sets) is sized from.  Raising it only costs wider mask walks, which
+  /// stay O(set bits) via countr_zero word-skipping.
+  static constexpr int kMaxCpus = 128;
+
   int num_cpus = 8;
   Mode mode = Mode::kTcc;
 
@@ -44,6 +50,17 @@ struct Config {
 
   // --- semantic-layer cost model (host-side lock tables / store buffers) ---
   std::uint32_t sem_op_cycles = 12;      ///< one semantic-lock / store-buffer op
+
+  // --- host-deadline supervision (wall-clock, never affects simulated time) -
+  /// The host deadline (Engine::set_host_deadline) is polled once every
+  /// (deadline_poll_mask + 1) scheduling decisions; must be 2^k - 1.
+  std::uint32_t deadline_poll_mask = 511;
+  /// With a deadline armed, no fiber is handed a run budget of more than
+  /// this many cycles past its own clock, so even a sole runnable fiber
+  /// spinning in tick() re-enters the scheduler (where the deadline is
+  /// polled).  Capping only inserts extra yields; simulated clocks are
+  /// unaffected.
+  std::uint64_t deadline_quantum = 65536;
 
   std::uint64_t seed = 1;                ///< workload RNG seed (determinism)
 

@@ -186,10 +186,38 @@ class Engine {
   void*& user(int cpu) { return user_[static_cast<std::size_t>(cpu)]; }
 
  private:
+  // One entry per runnable-but-not-running CPU, min-heap ordered by
+  // (clock, id) — the same total order the original linear scan's
+  // first-minimum-wins tie-break induced.  The running CPU's entry is
+  // popped while it runs and re-inserted when it yields, so entries are
+  // never stale and the heap top after a pop IS the second-smallest
+  // runnable clock (the run limit).
+  struct RunqEntry {
+    std::uint64_t clock;
+    int id;
+  };
+
   void worker_main(int cpu);
-  void yield_now();  // out-of-line: fiber switch + poison check
+  void yield_now();  // out-of-line: scheduling decision + fiber switch
   void kill_all_suspended();
   [[noreturn]] static void throw_no_engine();
+
+  static bool runq_before(const RunqEntry& a, const RunqEntry& b) {
+    return a.clock < b.clock || (a.clock == b.clock && a.id < b.id);
+  }
+  void runq_push(RunqEntry e);
+  RunqEntry runq_pop();  // precondition: runq_ non-empty
+  /// Run budget for a fiber at `clock` given the next runnable clock
+  /// `second` (kNever if none): second + slack, quantum-capped when a host
+  /// deadline is armed so spinning fibers keep returning to the scheduler.
+  void set_run_limit(std::uint64_t clock, std::uint64_t second) {
+    run_limit_ =
+        (second == ~std::uint64_t{0}) ? second : second + cfg_.slack;
+    if (host_deadline_armed_) {
+      const std::uint64_t quantum = clock + cfg_.deadline_quantum;
+      if (quantum < run_limit_) run_limit_ = quantum;
+    }
+  }
 
   inline static thread_local Engine* tls_engine_ = nullptr;
   inline static thread_local bool host_deadline_armed_ = false;
@@ -202,12 +230,15 @@ class Engine {
   SchedulerHook* hook_ = nullptr;
   std::vector<int> runnable_scratch_;  // reused per decision when hook_ set
   std::vector<Cpu> cpus_;
+  std::vector<RunqEntry> runq_;  // unused while a hook is installed
   std::vector<std::function<void()>> work_;
   std::vector<void*> user_;
   int current_cpu_ = -1;
   std::uint64_t run_limit_ = 0;  // current fiber may run until clock > limit
+  std::uint32_t deadline_poll_ = 0;
   bool running_ = false;
-  bool poisoned_ = false;  // force every suspended fiber to unwind
+  bool poisoned_ = false;      // force every suspended fiber to unwind
+  bool deadline_hit_ = false;  // fiber-side poll tripped; run() must unwind
 };
 
 }  // namespace sim

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <exception>
 #include <utility>
+#include <vector>
 
 extern "C" {
 // Defined in context.S.
@@ -60,6 +61,7 @@ void __sanitizer_start_switch_fiber(void** fake_stack_save, const void* bottom,
 void __sanitizer_finish_switch_fiber(void* fake_stack_save,
                                      const void** bottom_old,
                                      size_t* size_old);
+void __asan_unpoison_memory_region(void const volatile* addr, size_t size);
 }
 #endif
 
@@ -132,12 +134,45 @@ extern "C" __cxa_eh_globals* __cxa_get_globals() noexcept;
 }  // namespace __cxxabiv1
 
 namespace sim {
+
+// Thread-local switch plumbing.  Everything a fiber needs to leave for (or
+// arrive from) the main context lives here, so a fiber that was entered by
+// one context can exit toward another: with direct fiber->fiber transfers,
+// the fiber that finally yields to main is usually NOT the one main resumed.
+struct FiberCtx {
+  // --- the main (scheduler) context, parked while a fiber runs ---
+  void* main_sp = nullptr;
+  Fiber::EhGlobals main_eh{};
+  void* main_tsan = nullptr;               // captured at first resume()
+  void* main_asan_fake = nullptr;
+  const void* main_asan_bottom = nullptr;  // learned at the first arrival
+  std::size_t main_asan_size = 0;          //   ...from main (ASan only)
+  bool switch_from_main = false;           // who initiated the last switch
+
+  Fiber* current = nullptr;
+
+  // --- per-thread stack free list ---
+  struct StackBlock {
+    void* mem;
+    std::size_t map_bytes;
+  };
+  std::vector<StackBlock> stack_pool;
+
+  ~FiberCtx() {
+    for (const StackBlock& b : stack_pool) ::munmap(b.mem, b.map_bytes);
+  }
+};
+
 namespace {
 
-thread_local Fiber* g_current_fiber = nullptr;
+thread_local FiberCtx g_ctx;
+
+// Keep idle pooled stacks bounded: enough for one full-width Engine plus
+// headroom; beyond that, stacks are really unmapped.
+constexpr std::size_t kStackPoolCap = 192;
 
 // __cxa_get_globals returns a fixed per-thread address; cache it so the two
-// EH-globals swaps per resume don't each pay an external libsupc++ call.
+// EH-globals swaps per switch don't each pay an external libsupc++ call.
 inline void* eh_globals_addr() {
   thread_local void* p = __cxxabiv1::__cxa_get_globals();
   return p;
@@ -152,21 +187,63 @@ std::size_t round_up(std::size_t n, std::size_t align) {
   return (n + align - 1) / align * align;
 }
 
+// Completes a switch on arrival in a fiber (first activation or re-entry):
+// reinstalls its ASan fake stack, and — exactly once per host thread — learns
+// the main stack's bounds if the switch originated there (a fiber entered by
+// transfer_to learns nothing: the initiator's bounds are already known).
+inline void finish_arrival_in_fiber(Fiber* self, void* fake_save) {
+#if defined(TCC_ASAN)
+  const void* from_bottom = nullptr;
+  std::size_t from_size = 0;
+  asan_finish_switch(fake_save, &from_bottom, &from_size);
+  if (g_ctx.switch_from_main && g_ctx.main_asan_bottom == nullptr) {
+    g_ctx.main_asan_bottom = from_bottom;
+    g_ctx.main_asan_size = from_size;
+  }
+#else
+  (void)self;
+  (void)fake_save;
+#endif
+}
+
 }  // namespace
 
-Fiber* Fiber::current() noexcept { return g_current_fiber; }
+Fiber* Fiber::current() noexcept { return g_ctx.current; }
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
     : body_(std::move(body)) {
   const std::size_t ps = page_size();
   const std::size_t usable = round_up(stack_bytes, ps);
   map_bytes_ = usable + ps;  // one guard page below the stack
-  void* mem = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
-                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  if (mem == MAP_FAILED) throw std::runtime_error("Fiber: mmap failed");
-  if (::mprotect(mem, ps, PROT_NONE) != 0) {
-    ::munmap(mem, map_bytes_);
-    throw std::runtime_error("Fiber: mprotect failed");
+
+  // Reuse a pooled stack of the right size when one is free: its guard page
+  // is already protected and its hot pages already faulted in.
+  void* mem = nullptr;
+  auto& pool = g_ctx.stack_pool;
+  for (std::size_t i = pool.size(); i-- > 0;) {
+    if (pool[i].map_bytes == map_bytes_) {
+      mem = pool[i].mem;
+      pool[i] = pool.back();
+      pool.pop_back();
+#if defined(TCC_ASAN)
+      // A finished fiber's deepest frames never return, so their redzones
+      // stay poisoned in shadow memory.  A fresh mmap has clean shadow; a
+      // recycled stack must be scrubbed or the next fiber's first frames
+      // land on stale poison.
+      __asan_unpoison_memory_region(static_cast<char*>(mem) + ps,
+                                    map_bytes_ - ps);
+#endif
+      break;
+    }
+  }
+  if (mem == nullptr) {
+    mem = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) throw std::runtime_error("Fiber: mmap failed");
+    if (::mprotect(mem, ps, PROT_NONE) != 0) {
+      ::munmap(mem, map_bytes_);
+      throw std::runtime_error("Fiber: mprotect failed");
+    }
   }
   stack_mem_ = mem;
   stack_bottom_ = static_cast<const char*>(mem) + ps;
@@ -199,47 +276,85 @@ Fiber::~Fiber() {
     std::abort();
   }
   tsan_free_fiber(tsan_fiber_);
-  if (stack_mem_ != nullptr) ::munmap(stack_mem_, map_bytes_);
+  if (stack_mem_ != nullptr) {
+#if defined(TCC_ASAN)
+    // Scrub the shadow before the stack leaves our hands, poolward or back
+    // to the kernel: munmap does not clear shadow memory, so a still-
+    // poisoned mapping handed back here would leak stale poison into
+    // whatever mmap lands on the same address next — including a brand-new
+    // stack on a different host thread.
+    __asan_unpoison_memory_region(stack_bottom_, stack_size_);
+#endif
+    auto& pool = g_ctx.stack_pool;
+    if (pool.size() < kStackPoolCap) {
+      pool.push_back(FiberCtx::StackBlock{stack_mem_, map_bytes_});
+    } else {
+      ::munmap(stack_mem_, map_bytes_);
+    }
+  }
 }
 
 void Fiber::resume() {
   if (finished_) throw std::logic_error("Fiber::resume on finished fiber");
-  if (g_current_fiber != nullptr)
+  if (g_ctx.current != nullptr)
     throw std::logic_error("Fiber::resume must be called from the main context");
   started_ = true;
-  running_ = true;
-  g_current_fiber = this;
-  // Install the fiber's exception-handling globals, parking the resumer's.
+  g_ctx.current = this;
+  // Install the fiber's exception-handling globals, parking main's.
   auto* eh = reinterpret_cast<EhGlobals*>(eh_globals_addr());
-  eh_return_state_ = *eh;
+  g_ctx.main_eh = *eh;
   *eh = eh_state_;
-  tsan_return_fiber_ = tsan_this_fiber();
+  if (g_ctx.main_tsan == nullptr) g_ctx.main_tsan = tsan_this_fiber();
   tsan_switch(tsan_fiber_);
-  asan_start_switch(&asan_return_fake_, stack_bottom_, stack_size_);
-  tcc_ctx_swap(&return_sp_, fiber_sp_);
-  asan_finish_switch(asan_return_fake_, nullptr, nullptr);
-  // Back from the fiber (yield or finish): park its globals, restore ours.
-  eh_state_ = *eh;
-  *eh = eh_return_state_;
-  g_current_fiber = nullptr;
-  running_ = false;
+  g_ctx.switch_from_main = true;
+  asan_start_switch(&g_ctx.main_asan_fake, stack_bottom_, stack_size_);
+  tcc_ctx_swap(&g_ctx.main_sp, fiber_sp_);
+  // Back in main.  Whichever fiber yielded (or finished) last has already
+  // restored main's EH globals and announced the TSan/ASan switch.
+  asan_finish_switch(g_ctx.main_asan_fake, nullptr, nullptr);
+  g_ctx.current = nullptr;
 }
 
 void Fiber::yield() {
-  Fiber* self = g_current_fiber;
+  Fiber* self = g_ctx.current;
   if (self == nullptr) throw std::logic_error("Fiber::yield outside a fiber");
-  tsan_switch(self->tsan_return_fiber_);
-  asan_start_switch(&self->asan_fake_stack_, self->asan_return_bottom_,
-                    self->asan_return_size_);
-  tcc_ctx_swap(&self->fiber_sp_, self->return_sp_);
-  asan_finish_switch(self->asan_fake_stack_, &self->asan_return_bottom_,
-                     &self->asan_return_size_);
+  auto* eh = reinterpret_cast<EhGlobals*>(eh_globals_addr());
+  self->eh_state_ = *eh;
+  *eh = g_ctx.main_eh;
+  tsan_switch(g_ctx.main_tsan);
+  g_ctx.switch_from_main = false;
+  asan_start_switch(&self->asan_fake_stack_, g_ctx.main_asan_bottom,
+                    g_ctx.main_asan_size);
+  tcc_ctx_swap(&self->fiber_sp_, g_ctx.main_sp);
+  // Re-entered (by resume() or a transfer_to() targeting us).
+  finish_arrival_in_fiber(self, self->asan_fake_stack_);
+}
+
+void Fiber::transfer_to(Fiber& next) {
+  Fiber* self = g_ctx.current;
+  if (self == nullptr)
+    throw std::logic_error("Fiber::transfer_to outside a fiber");
+  if (&next == self || next.finished_)
+    throw std::logic_error("Fiber::transfer_to: bad target fiber");
+  next.started_ = true;
+  g_ctx.current = &next;
+  auto* eh = reinterpret_cast<EhGlobals*>(eh_globals_addr());
+  self->eh_state_ = *eh;
+  *eh = next.eh_state_;
+  tsan_switch(next.tsan_fiber_);
+  g_ctx.switch_from_main = false;
+  asan_start_switch(&self->asan_fake_stack_, next.stack_bottom_,
+                    next.stack_size_);
+  tcc_ctx_swap(&self->fiber_sp_, next.fiber_sp_);
+  // Re-entered (by resume() or a transfer_to() targeting us).
+  finish_arrival_in_fiber(self, self->asan_fake_stack_);
 }
 
 void Fiber::run_body() noexcept {
-  // First activation: complete the switch begun in resume() and learn the
-  // resumer's stack bounds (later re-entries complete theirs in yield()).
-  asan_finish_switch(nullptr, &asan_return_bottom_, &asan_return_size_);
+  // First activation: complete the switch begun by resume()/transfer_to().
+  // The seeded frame has no saved fake stack, so pass the field (still
+  // nullptr) — later re-entries reinstall the one saved at suspension.
+  finish_arrival_in_fiber(this, asan_fake_stack_);
   try {
     body_();
   } catch (const FiberKilled&) {
@@ -252,12 +367,14 @@ void Fiber::run_body() noexcept {
     std::abort();
   }
   finished_ = true;
-  // Return to the resumer for the last time.  tcc_ctx_swap saves a resume
-  // point we will never use.
-  tsan_switch(tsan_return_fiber_);
+  // Return to the main context for the last time (finishing fibers never
+  // transfer directly: the scheduler's bookkeeping runs in main).
+  auto* eh = reinterpret_cast<EhGlobals*>(eh_globals_addr());
+  *eh = g_ctx.main_eh;  // our own EH state is dead; restore main's
+  tsan_switch(g_ctx.main_tsan);
   // nullptr save: this fiber never runs again, so its fake stack can go.
-  asan_start_switch(nullptr, asan_return_bottom_, asan_return_size_);
-  tcc_ctx_swap(&fiber_sp_, return_sp_);
+  asan_start_switch(nullptr, g_ctx.main_asan_bottom, g_ctx.main_asan_size);
+  tcc_ctx_swap(&fiber_sp_, g_ctx.main_sp);
   std::abort();  // unreachable: nobody may resume a finished fiber
 }
 

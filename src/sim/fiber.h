@@ -7,6 +7,22 @@
 // The implementation is a hand-rolled x86-64 System V context switch
 // (see context.S); a switch costs a handful of nanoseconds of host time,
 // which matters because benchmarks perform millions of switches.
+//
+// Two switch shapes are provided:
+//
+//  * resume()/yield()   — the classic main<->fiber pair.  There is exactly
+//    one "main" (scheduler) context per host thread, held in thread-local
+//    state, so a yielding fiber always returns to the thread's scheduler
+//    regardless of which context entered it.
+//  * transfer_to(next)  — fiber->fiber handoff in ONE context switch.  The
+//    engine's scheduling fast path uses this to dispatch the next virtual
+//    CPU without bouncing through the main context, halving the switches
+//    per scheduling decision.
+//
+// Stacks are pooled per host thread: figure sweeps construct thousands of
+// Engines, and re-using an mmap'd stack (guard page already in place, hot
+// pages already faulted in) makes Engine construction O(fibers), not
+// O(fibers x mmap+page-fault).
 #pragma once
 
 #include <cstddef>
@@ -29,29 +45,40 @@ struct FiberKilled {};
 ///   f.finished();          // true once the body returned
 ///
 /// The body may call Fiber::yield() (static; applies to the currently
-/// running fiber) to suspend back to whoever resumed it.  C++ exceptions may
-/// be thrown and caught freely *within* the fiber body, but must never
-/// propagate out of it; the fiber traps that case and terminates the process
-/// with a diagnostic, because unwinding across a context switch is undefined.
+/// running fiber) to suspend back to the thread's main context, or
+/// Fiber::transfer_to() to hand the host thread directly to another
+/// suspended fiber.  C++ exceptions may be thrown and caught freely *within*
+/// the fiber body, but must never propagate out of it; the fiber traps that
+/// case and terminates the process with a diagnostic, because unwinding
+/// across a context switch is undefined.
 class Fiber {
  public:
   /// Creates a fiber that will run `body` on its own `stack_bytes`-sized
   /// stack (rounded up to the page size, with an inaccessible guard page
-  /// below it to turn stack overflow into a clean fault).
+  /// below it to turn stack overflow into a clean fault).  The stack is
+  /// drawn from the calling thread's free-list when one of the right size
+  /// is available, and returned to it on destruction.
   explicit Fiber(std::function<void()> body, std::size_t stack_bytes = kDefaultStackBytes);
   ~Fiber();
 
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
 
-  /// Transfers control into the fiber.  Returns when the fiber yields or
-  /// its body returns.  Must not be called on a finished fiber, nor from
-  /// within any fiber (only the scheduler/main context resumes fibers).
+  /// Transfers control into the fiber from the main context.  Returns when
+  /// some fiber yields to main or finishes (with fiber->fiber transfers in
+  /// between, the fiber that comes back to main need not be this one).
+  /// Must not be called on a finished fiber, nor from within any fiber.
   void resume();
 
-  /// Suspends the currently running fiber, returning control to the context
-  /// that resumed it.  Must be called from within a fiber body.
+  /// Suspends the currently running fiber, returning control to the
+  /// thread's main context.  Must be called from within a fiber body.
   static void yield();
+
+  /// Suspends the currently running fiber and resumes `next` in a single
+  /// context switch (never touching the main context).  `next` must be a
+  /// distinct, unfinished fiber on the same host thread; it may be one that
+  /// has never run (its first activation happens exactly as under resume()).
+  static void transfer_to(Fiber& next);
 
   /// True once the fiber body has returned.
   [[nodiscard]] bool finished() const noexcept { return finished_; }
@@ -67,6 +94,8 @@ class Fiber {
   void run_body() noexcept;
 
  private:
+  friend struct FiberCtx;
+
   // Per-fiber copy of the Itanium-ABI exception-handling globals
   // (__cxa_eh_globals): the caught-exception stack is thread-local, so a
   // fiber that yields inside a catch block would otherwise interleave its
@@ -80,25 +109,18 @@ class Fiber {
   void* stack_mem_ = nullptr;   // mmap'd region (guard page + stack)
   std::size_t map_bytes_ = 0;
   void* fiber_sp_ = nullptr;    // suspended fiber's stack pointer
-  void* return_sp_ = nullptr;   // where to go back to on yield/finish
   EhGlobals eh_state_{};        // the fiber's exception globals while suspended
-  EhGlobals eh_return_state_{}; // the resumer's globals while the fiber runs
   // Sanitizer bookkeeping (see fiber.cpp).  Neither TSan nor ASan can see
   // the raw stack switch in context.S: every switch is announced with
   // __tsan_switch_to_fiber / __sanitizer_start_switch_fiber and completed
   // with __sanitizer_finish_switch_fiber on arrival.  All null/zero when
   // not built with the corresponding sanitizer.
-  void* tsan_fiber_ = nullptr;         // this fiber's TSan context
-  void* tsan_return_fiber_ = nullptr;  // the resumer's TSan context
-  void* asan_fake_stack_ = nullptr;    // fiber's ASan fake stack, suspended
-  void* asan_return_fake_ = nullptr;   // resumer's fake stack, fiber running
-  const void* asan_return_bottom_ = nullptr;  // resumer's real stack bounds
-  std::size_t asan_return_size_ = 0;
+  void* tsan_fiber_ = nullptr;        // this fiber's TSan context
+  void* asan_fake_stack_ = nullptr;   // fiber's ASan fake stack, suspended
   const void* stack_bottom_ = nullptr;  // usable stack (above the guard page)
   std::size_t stack_size_ = 0;
   bool started_ = false;
   bool finished_ = false;
-  bool running_ = false;
 };
 
 }  // namespace sim

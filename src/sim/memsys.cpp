@@ -1,12 +1,16 @@
 #include "sim/memsys.h"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "trace/tracer.h"
 
 namespace sim {
 
 MemSys::MemSys(const Config& cfg, Stats& stats) : cfg_(cfg), stats_(stats) {
+  if (cfg.l1_sets == 0 || (cfg.l1_sets & (cfg.l1_sets - 1)) != 0)
+    throw std::invalid_argument("MemSys: l1_sets must be a power of two");
+  set_mask_ = cfg.l1_sets - 1;
   l1_.resize(static_cast<std::size_t>(cfg.num_cpus));
   for (auto& c : l1_) c.resize(static_cast<std::size_t>(cfg.l1_sets) * cfg.l1_assoc);
   spec_ways_.resize(static_cast<std::size_t>(cfg.num_cpus));
@@ -14,7 +18,7 @@ MemSys::MemSys(const Config& cfg, Stats& stats) : cfg_(cfg), stats_(stats) {
 
 MemSys::Way* MemSys::find(int cpu, LineAddr line) {
   auto& c = l1_[static_cast<std::size_t>(cpu)];
-  const std::size_t set = static_cast<std::size_t>(line % cfg_.l1_sets) * cfg_.l1_assoc;
+  const std::size_t set = static_cast<std::size_t>(line & set_mask_) * cfg_.l1_assoc;
   for (std::size_t i = 0; i < cfg_.l1_assoc; ++i) {
     Way& w = c[set + i];
     if (w.state != St::I && w.line == line) return &w;
@@ -24,7 +28,7 @@ MemSys::Way* MemSys::find(int cpu, LineAddr line) {
 
 MemSys::Way& MemSys::victim(int cpu, LineAddr line) {
   auto& c = l1_[static_cast<std::size_t>(cpu)];
-  const std::size_t set = static_cast<std::size_t>(line % cfg_.l1_sets) * cfg_.l1_assoc;
+  const std::size_t set = static_cast<std::size_t>(line & set_mask_) * cfg_.l1_assoc;
   Way* best = &c[set];
   for (std::size_t i = 0; i < cfg_.l1_assoc; ++i) {
     Way& w = c[set + i];
@@ -38,9 +42,9 @@ MemSys::Way& MemSys::victim(int cpu, LineAddr line) {
 void MemSys::dir_remove_cpu(LineAddr line, int cpu) {
   Dir* d = dir_.find(line);
   if (d == nullptr) return;
-  d->sharers &= ~(1u << cpu);
+  d->sharers.clear(cpu);
   if (d->owner == cpu) d->owner = -1;
-  if (d->sharers == 0 && d->owner < 0) dir_.erase(line);
+  if (d->sharers.none() && d->owner < 0) dir_.erase(line);
 }
 
 void MemSys::evict(int cpu, Way& w) {
@@ -83,7 +87,7 @@ std::uint64_t MemSys::plain_load(int cpu, std::uintptr_t addr, std::uint64_t t) 
       if (ow->state == St::M) occ += cfg_.writeback_cycles;
       ow->state = St::S;
     }
-    d.sharers |= (1u << d.owner);
+    d.sharers.set(d.owner);
     d.owner = -1;
   }
   const std::uint64_t done = bus_.transact(t, cfg_.bus_arb_cycles, occ) + cfg_.l2_hit_cycles;
@@ -91,9 +95,9 @@ std::uint64_t MemSys::plain_load(int cpu, std::uintptr_t addr, std::uint64_t t) 
   w.line = line;
   w.lru = ++lru_tick_;
   w.spec_dirty = false;
-  w.state = (d.sharers == 0) ? St::E : St::S;
+  w.state = d.sharers.none() ? St::E : St::S;
   if (w.state == St::E) d.owner = cpu;
-  d.sharers |= (1u << cpu);
+  d.sharers.set(cpu);
   *dir_.try_emplace(line, Dir{}).first = d;
   return done;
 }
@@ -122,10 +126,9 @@ std::uint64_t MemSys::plain_store(int cpu, std::uintptr_t addr, std::uint64_t t)
       occ += cfg_.writeback_cycles;
     drop_from(d.owner, line);
   }
-  std::uint32_t sharers = d.sharers;
-  for (int c = 0; sharers != 0; ++c, sharers >>= 1) {
-    if ((sharers & 1u) != 0 && c != cpu) drop_from(c, line);
-  }
+  d.sharers.for_each([&](int c) {
+    if (c != cpu) drop_from(c, line);
+  });
   const bool was_miss = (w == nullptr);
   if (was_miss) {
     stats_.cpu(cpu).l1_misses++;
@@ -141,7 +144,7 @@ std::uint64_t MemSys::plain_store(int cpu, std::uintptr_t addr, std::uint64_t t)
   w->state = St::M;
   w->spec_dirty = false;
   w->lru = ++lru_tick_;
-  *dir_.try_emplace(line, Dir{}).first = Dir{1u << cpu, cpu};
+  *dir_.try_emplace(line, Dir{}).first = Dir{CpuMask::one(cpu), cpu};
   return done;
 }
 
@@ -162,7 +165,7 @@ std::uint64_t MemSys::tx_load(int cpu, std::uintptr_t addr, std::uint64_t t) {
   w.state = St::S;  // "valid" in TCC mode
   w.spec_dirty = false;
   w.lru = ++lru_tick_;
-  dir_.try_emplace(line, Dir{}).first->sharers |= (1u << cpu);
+  dir_.try_emplace(line, Dir{}).first->sharers.set(cpu);
   return done;
 }
 
@@ -180,7 +183,7 @@ std::uint64_t MemSys::tx_store(int cpu, std::uintptr_t addr, std::uint64_t t) {
     w = &victim(cpu, line);
     w->line = line;
     w->state = St::S;
-    dir_.try_emplace(line, Dir{}).first->sharers |= (1u << cpu);
+    dir_.try_emplace(line, Dir{}).first->sharers.set(cpu);
   }
   if (!w->spec_dirty) {
     w->spec_dirty = true;  // buffered in cache, no bus traffic until commit
@@ -206,10 +209,10 @@ std::uint64_t MemSys::tcc_commit(int cpu, std::size_t write_lines, std::uint64_t
 void MemSys::invalidate_copies(int committer, LineAddr line) {
   const Dir* d = dir_.find(line);
   if (d == nullptr) return;
-  std::uint32_t sharers = d->sharers;  // copy: drop_from mutates the table
-  for (int c = 0; sharers != 0; ++c, sharers >>= 1) {
-    if ((sharers & 1u) != 0 && c != committer) drop_from(c, line);
-  }
+  const CpuMask sharers = d->sharers;  // copy: drop_from mutates the table
+  sharers.for_each([&](int c) {
+    if (c != committer) drop_from(c, line);
+  });
 }
 
 void MemSys::abort_clear_speculative(int cpu) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sim/config.h"
+#include "sim/cpu_mask.h"
 #include "sim/flat_map.h"
 #include "sim/stats.h"
 #include "sim/vaddr.h"
@@ -100,8 +101,8 @@ class MemSys {
   };
 
   struct Dir {
-    std::uint32_t sharers = 0;  // bitmask of CPUs with a copy
-    int owner = -1;             // CPU holding the line in E or M (MESI mode)
+    CpuMask sharers;  // CPUs with a copy (multi-word: up to kMaxCpus)
+    int owner = -1;   // CPU holding the line in E or M (MESI mode)
   };
 
   Way* find(int cpu, LineAddr line);
@@ -113,6 +114,9 @@ class MemSys {
   const Config& cfg_;
   Stats& stats_;
   Bus bus_;
+  // l1_sets is validated as a power of two so the per-access set lookup is
+  // a mask, not a runtime integer division (find/victim run on every access).
+  std::size_t set_mask_ = 0;
   std::vector<std::vector<Way>> l1_;  // [cpu][set*assoc + way]
   // Ways a CPU has speculatively written (spec_dirty set by tx_store), so
   // commit/abort clear exactly those instead of sweeping the whole L1.

@@ -299,6 +299,23 @@ void check_reader_dir(const detail::Txn& t, const ReaderDir& dir) {
   });
 }
 
+// ---- reader directory (hooks declared in tm/reader_dir.h) ----
+
+void reader_count_overflow(sim::LineAddr line, int cpu) {
+  report(Check::kReaderOverflow,
+         "reader-directory count for line " + std::to_string(line) + " on cpu " +
+             std::to_string(cpu) +
+             " saturated at 255 (open-nesting depth > 255 on one line); the "
+             "reader bit is now sticky, so the CPU may see spurious "
+             "violations on this line for the rest of the run");
+}
+
+void reader_dir_corrupt(sim::LineAddr line, int cpu, const char* what) {
+  report(Check::kSetCorruption,
+         "reader directory: " + std::string(what) + " (line " +
+             std::to_string(line) + ", cpu " + std::to_string(cpu) + ")");
+}
+
 void check_trace_nesting(const trace::Tracer& tracer) {
   using trace::Kind;
   for (int cpu = 0; cpu < tracer.num_cpus(); ++cpu) {

@@ -67,6 +67,13 @@ enum class Check {
   /// inverse op to already-restored state), so a double registration
   /// corrupts the committed collection.
   kDoubleCompensation,
+  /// A per-(line, cpu) reader-directory count hit its 255 ceiling (one CPU
+  /// holding the same line in >255 stacked open-nested read sets).  The
+  /// count saturates stickily — the reader bit stays set for the rest of
+  /// the run — so conflict detection errs toward spurious violations, never
+  /// missed ones.  Reported by ReaderDir::add (tm/reader_dir.h); the hook
+  /// itself is declared there to avoid a header cycle.
+  kReaderOverflow,
   kChecks  // count sentinel
 };
 

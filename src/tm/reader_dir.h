@@ -17,11 +17,24 @@
 // The invariant (checked under TXCC_CHECKED) is count(line, cpu) ==
 // number of transactions on cpu whose read_frame contains line.
 //
+// Reader masks are multi-word (Config::kMaxCpus = 128 bits): one uint64
+// stride per 64 CPUs, sized from the simulation's actual num_cpus so an
+// 8-CPU run still pays one word per line.  Consumers walk set bits with
+// countr_zero word-skipping (see Runtime::flag_readers), keeping sparse
+// reader sets O(set bits), not O(num_cpus).
+//
+// Bounds and counter-overflow conditions are routed through the
+// TXCC_CHECKED audit (they were assert-only before, i.e. unchecked in
+// Release): a per-(line, cpu) count that hits 255 SATURATES STICKILY — the
+// count stops moving and the reader bit stays set for the rest of the run —
+// which can only cause spurious violations, never missed ones.  Each
+// saturated add is reported as Check::kReaderOverflow; underflow and
+// out-of-range lines are reported as set corruption.
+//
 // Virtual addresses (sim/vaddr.h) are dense, so this is flat-array
 // indexing, not hashing: idx = line - (kVaBase >> kLineShift).
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -29,53 +42,103 @@
 #include "sim/memsys.h"
 #include "sim/vaddr.h"
 
+namespace atomos::audit {
+// Reader-directory audit hooks (defined in audit.cpp; empty when
+// TXCC_CHECKED is off).  Declared here rather than in audit.h because
+// audit.h includes runtime.h, which includes this header.
+#if defined(TXCC_CHECKED) && TXCC_CHECKED
+void reader_count_overflow(sim::LineAddr line, int cpu);
+void reader_dir_corrupt(sim::LineAddr line, int cpu, const char* what);
+#else
+inline void reader_count_overflow(sim::LineAddr, int) {}
+inline void reader_dir_corrupt(sim::LineAddr, int, const char*) {}
+#endif
+}  // namespace atomos::audit
+
 namespace atomos {
 
 class ReaderDir {
  public:
-  explicit ReaderDir(int num_cpus) : ncpu_(static_cast<std::size_t>(num_cpus)) {}
+  explicit ReaderDir(int num_cpus)
+      : ncpu_(static_cast<std::size_t>(num_cpus)),
+        words_(static_cast<std::size_t>((num_cpus + 63) / 64)) {}
 
   void add(sim::LineAddr line, int cpu) {
+    if (line < kLineBase) {
+      audit::reader_dir_corrupt(line, cpu, "add below virtual heap");
+      return;
+    }
     const std::size_t i = index(line);
-    if (i >= mask_.size()) {
-      mask_.resize(i + 1, 0);
-      cnt_.resize((i + 1) * ncpu_, 0);
+    if (i >= nlines_) {
+      nlines_ = i + 1;
+      mask_.resize(nlines_ * words_, 0);
+      cnt_.resize(nlines_ * ncpu_, 0);
     }
     std::uint8_t& c = cnt_[i * ncpu_ + static_cast<std::size_t>(cpu)];
-    assert(c < 0xff && "reader count overflow (open-nesting depth > 255?)");
+    if (c == 0xff) {  // saturate stickily: spurious flags beat missed ones
+      audit::reader_count_overflow(line, cpu);
+      return;
+    }
     ++c;
-    mask_[i] |= (1u << cpu);
+    mask_[i * words_ + (static_cast<std::size_t>(cpu) >> 6)] |=
+        std::uint64_t{1} << (cpu & 63);
   }
 
   void remove(sim::LineAddr line, int cpu) {
+    if (line < kLineBase) {
+      audit::reader_dir_corrupt(line, cpu, "remove below virtual heap");
+      return;
+    }
     const std::size_t i = index(line);
-    assert(i < mask_.size());
+    if (i >= nlines_) {
+      audit::reader_dir_corrupt(line, cpu, "remove of untracked line");
+      return;
+    }
     std::uint8_t& c = cnt_[i * ncpu_ + static_cast<std::size_t>(cpu)];
-    assert(c > 0 && "reader directory underflow");
-    if (--c == 0) mask_[i] &= ~(1u << cpu);
+    if (c == 0) {
+      audit::reader_dir_corrupt(line, cpu, "reader count underflow");
+      return;
+    }
+    if (c == 0xff) return;  // saturated: count unknown, bit stays set
+    if (--c == 0)
+      mask_[i * words_ + (static_cast<std::size_t>(cpu) >> 6)] &=
+          ~(std::uint64_t{1} << (cpu & 63));
   }
 
-  /// Bitmask of CPUs with `line` in at least one live read set.
-  std::uint32_t mask(sim::LineAddr line) const {
+  /// Pointer to the line's reader-mask words (mask_stride() of them), or
+  /// nullptr when no CPU has the line in a read set.  Valid until the next
+  /// add() (which may grow the table).
+  const std::uint64_t* mask_words(sim::LineAddr line) const {
     const std::size_t i = index(line);
-    return i < mask_.size() ? mask_[i] : 0;
+    return i < nlines_ ? &mask_[i * words_] : nullptr;
+  }
+  std::size_t mask_stride() const { return words_; }
+
+  /// True if `cpu` has `line` in at least one live read set.
+  bool is_reader(sim::LineAddr line, int cpu) const {
+    const std::size_t i = index(line);
+    if (i >= nlines_) return false;
+    return ((mask_[i * words_ + (static_cast<std::size_t>(cpu) >> 6)] >>
+             (cpu & 63)) &
+            1u) != 0;
   }
 
   std::uint32_t count(sim::LineAddr line, int cpu) const {
     const std::size_t i = index(line);
-    return i < mask_.size() ? cnt_[i * ncpu_ + static_cast<std::size_t>(cpu)] : 0;
+    return i < nlines_ ? cnt_[i * ncpu_ + static_cast<std::size_t>(cpu)] : 0;
   }
 
  private:
   static constexpr sim::LineAddr kLineBase = sim::kVaBase >> sim::Config::kLineShift;
 
   static std::size_t index(sim::LineAddr line) {
-    assert(line >= kLineBase && "reader directory line below the virtual heap");
     return static_cast<std::size_t>(line - kLineBase);
   }
 
   std::size_t ncpu_;
-  std::vector<std::uint32_t> mask_;  // [line]: reader-CPU bitmask
+  std::size_t words_;   // mask words per line: ceil(ncpu / 64)
+  std::size_t nlines_ = 0;
+  std::vector<std::uint64_t> mask_;  // [line * words_ + w]: reader-CPU bits
   std::vector<std::uint8_t> cnt_;    // [line * ncpu + cpu]: live read-set refs
 };
 

@@ -1,6 +1,7 @@
 #include "tm/runtime.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdio>
 
@@ -33,6 +34,7 @@ Runtime::Runtime(sim::Engine& eng, std::unique_ptr<ContentionManager> cm)
 }
 
 Runtime::~Runtime() {
+  flush_violation_counters();
   if (tracer_ != nullptr) {
     eng_.set_tracer(nullptr);
     // The per-CPU streams must be well-nested (begin/commit/abort pairing,
@@ -306,26 +308,47 @@ void Runtime::release_token(int cpu) {
 /// when profiling is on.  The reader directory narrows the scan to CPUs that
 /// actually read the line, so a commit costs O(write lines x real readers).
 void Runtime::flag_readers(sim::LineAddr line, int committer) {
-  std::uint32_t mask = reader_dir_.mask(line);
-  mask &= ~(1u << committer);
-  if (mask == 0) return;
+  const std::uint64_t* words = reader_dir_.mask_words(line);
+  if (words == nullptr) return;
+  const std::size_t stride = reader_dir_.mask_stride();
   const bool profiling = profile_.enabled();
-  for (int c = 0; mask != 0; ++c, mask >>= 1) {
-    if ((mask & 1u) == 0) continue;
-    for (Txn* v = ctx(c).cur; v != nullptr; v = v->parent) {
-      // Ancestors of the committer are exempt by construction (they are on
-      // another CPU here, so no exemption needed).
-      const std::int32_t* f = v->read_frame.find(line);
-      if (f == nullptr) continue;
-      const int frame = *f;
-      if (v->kill_frame < 0 || frame < v->kill_frame) v->kill_frame = frame;
-      if (tracer_ != nullptr) tracer_->on_violation_flag(committer, eng_.now(), line, c);
-      if (profiling) {
-        const char* name = profile_.find(line);
-        eng_.stats().bump(std::string("violations@") + (name != nullptr ? name : "<unnamed>"));
+  for (std::size_t wi = 0; wi < stride; ++wi) {
+    std::uint64_t m = words[wi];
+    if (wi == (static_cast<std::size_t>(committer) >> 6))
+      m &= ~(std::uint64_t{1} << (committer & 63));
+    while (m != 0) {
+      const int c = static_cast<int>(wi * 64) + std::countr_zero(m);
+      m &= m - 1;
+      for (Txn* v = ctx(c).cur; v != nullptr; v = v->parent) {
+        // Ancestors of the committer are exempt by construction (they are on
+        // another CPU here, so no exemption needed).
+        const std::int32_t* f = v->read_frame.find(line);
+        if (f == nullptr) continue;
+        const int frame = *f;
+        if (v->kill_frame < 0 || frame < v->kill_frame) v->kill_frame = frame;
+        if (tracer_ != nullptr) tracer_->on_violation_flag(committer, eng_.now(), line, c);
+        if (profiling) {
+          // Interned id, not string: the "violations@<label>" stats entries
+          // are materialized once at teardown (flush_violation_counters).
+          const std::size_t slot = static_cast<std::size_t>(profile_.find_id(line) + 1);
+          if (slot >= viol_counts_.size()) viol_counts_.resize(slot + 1, 0);
+          ++viol_counts_[slot];
+        }
       }
     }
   }
+}
+
+void Runtime::flush_violation_counters() {
+  if (viol_counts_.empty()) return;
+  if (viol_counts_[0] != 0)
+    eng_.stats().bump("violations@<unnamed>", viol_counts_[0]);
+  for (std::size_t k = 1; k < viol_counts_.size(); ++k) {
+    if (viol_counts_[k] != 0)
+      eng_.stats().bump("violations@" + profile_.label_name(static_cast<int>(k) - 1),
+                        viol_counts_[k]);
+  }
+  viol_counts_.clear();  // bump() accumulates; never double-flush
 }
 
 void Runtime::broadcast_and_apply(Txn& t) {

@@ -380,6 +380,7 @@ class Runtime {
   void acquire_token(int cpu);
   void release_token(int cpu);
   void flag_readers(sim::LineAddr line, int committer);
+  void flush_violation_counters();  // viol_counts_ -> stats() "violations@"
   void broadcast_and_apply(detail::Txn& t);
   void collect_garbage();
 
@@ -458,6 +459,12 @@ class Runtime {
   // Commit-broadcast scratch (write-set line dedup), reused across commits.
   std::vector<sim::LineAddr> scratch_lines_;
   sim::FlatMap<sim::LineAddr, char> scratch_seen_;
+
+  // TAPE violation counters, indexed by interned label id + 1 (slot 0 =
+  // unlabelled).  flag_readers bumps these; flush_violation_counters
+  // materializes them as stats() "violations@<label>" entries at teardown,
+  // keeping std::string construction out of the violation hot path.
+  std::vector<std::uint64_t> viol_counts_;
 
   // txmc observer (null outside model-checking runs).
   McObserver* mc_observer_ = nullptr;

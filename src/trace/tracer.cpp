@@ -35,7 +35,7 @@ Tracer::Tracer(int num_cpus, std::size_t capacity_per_cpu)
     : num_cpus_(num_cpus),
       cap_(static_cast<std::uint32_t>(
           capacity_per_cpu == 0 ? 1 : capacity_per_cpu)),
-      bufs_(new Buf[static_cast<std::size_t>(num_cpus)]) {
+      bufs_(new Buf[static_cast<std::size_t>(num_cpus > 0 ? num_cpus : 1)]) {
   for (int c = 0; c < num_cpus_; ++c)
     bufs_[idx(c)].ev = std::make_unique<Event[]>(cap_);
 }

@@ -36,7 +36,7 @@ TEST(ScheduleTest, DecodeRejectsMissingPrefix) {
   out.choices = {7};
   EXPECT_FALSE(decode("0101", out));
   EXPECT_FALSE(decode("", out));
-  EXPECT_FALSE(decode("v2:01", out));
+  EXPECT_FALSE(decode("v3:01", out));
   // A failed decode leaves `out` untouched.
   EXPECT_EQ(out.choices, (std::vector<int>{7}));
 }
@@ -46,6 +46,34 @@ TEST(ScheduleTest, DecodeRejectsBadDigit) {
   EXPECT_FALSE(decode("v1:01w", out));  // 'w' is past base-32
   EXPECT_FALSE(decode("v1:0 1", out));
   EXPECT_FALSE(decode("v1:0A", out));  // upper case is not in the alphabet
+}
+
+TEST(ScheduleTest, WideIndicesEncodeAsV2AndRoundTrip) {
+  // A 128-CPU runnable list can hand back indices past 31: those schedules
+  // render in the two-digit v2 form and round-trip exactly.
+  Schedule s;
+  s.choices = {0, 31, 32, 127};
+  const std::string text = encode(s);
+  EXPECT_EQ(text.rfind("v2:", 0), 0u);
+  Schedule back;
+  ASSERT_TRUE(decode(text, back));
+  EXPECT_EQ(back, s);
+}
+
+TEST(ScheduleTest, NarrowSchedulesKeepV1Form) {
+  // Replay strings recorded before the CPU axis widened must stay
+  // byte-identical: v2 is only used when an index needs the second digit.
+  Schedule s;
+  s.choices = {0, 31};
+  EXPECT_EQ(encode(s), "v1:0v");
+}
+
+TEST(ScheduleTest, DecodeV2RejectsOddDigitCountAndBadDigits) {
+  Schedule out;
+  EXPECT_FALSE(decode("v2:010", out));  // dangling half-pair
+  EXPECT_FALSE(decode("v2:0w", out));
+  ASSERT_TRUE(decode("v2:", out));  // empty body is a valid empty schedule
+  EXPECT_TRUE(out.choices.empty());
 }
 
 }  // namespace

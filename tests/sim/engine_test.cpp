@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <vector>
 
 namespace sim {
@@ -132,6 +133,53 @@ TEST(EngineTest, SlackAllowsBatchedProgress) {
     return eng.elapsed_cycles();
   };
   EXPECT_EQ(total(0), total(1000));
+}
+
+TEST(EngineTest, SoleSpinningFiberHonorsHostDeadlineAtConfiguredQuantum) {
+  // A single runnable fiber has no "second" clock, so its run limit would be
+  // unbounded; with a host deadline armed the configured deadline_quantum
+  // caps the budget, forcing the spin back to a scheduling point where the
+  // deadline is polled every (deadline_poll_mask + 1) decisions.  The spin
+  // below is bounded only as a hang backstop: the deadline must fire first.
+  Config c = cfg(1);
+  c.deadline_quantum = 1024;
+  c.deadline_poll_mask = 7;
+  Engine eng(c);
+  eng.spawn([] {
+    for (std::uint64_t i = 0; i < 2'000'000'000; ++i) Engine::get().tick(1);
+  });
+  Engine::set_host_deadline(std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(25));
+  EXPECT_THROW(eng.run(), SimTimeout);
+  Engine::clear_host_deadline();
+}
+
+TEST(EngineTest, DeadlineQuantumLeavesSimulatedCyclesUntouched) {
+  // Capping run budgets only inserts extra yields; simulated clocks must be
+  // bit-identical whether or not a (far-future) deadline armed the cap.
+  auto total = [](bool armed) {
+    Config c = cfg(2);
+    c.deadline_quantum = 64;  // absurdly small: many extra yields
+    Engine eng(c);
+    for (int id = 0; id < 2; ++id)
+      eng.spawn([] {
+        for (int i = 0; i < 500; ++i) Engine::get().tick(3);
+      });
+    if (armed)
+      Engine::set_host_deadline(std::chrono::steady_clock::now() +
+                                std::chrono::hours(1));
+    eng.run();
+    Engine::clear_host_deadline();
+    return eng.elapsed_cycles();
+  };
+  const std::uint64_t bare = total(false);
+  EXPECT_EQ(total(true), bare);
+}
+
+TEST(EngineTest, NonPowerOfTwoDeadlinePollMaskIsRejected) {
+  Config c = cfg(1);
+  c.deadline_poll_mask = 6;  // not 2^k - 1
+  EXPECT_THROW(Engine rejected(c), std::invalid_argument);
 }
 
 }  // namespace

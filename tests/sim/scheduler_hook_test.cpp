@@ -129,6 +129,46 @@ TEST(SchedulerHookTest, ScriptedHookIsDeterministicAndReplayable) {
   EXPECT_NE(cycles_a, run_fig1_small(2, nullptr));
 }
 
+/// Checks the runnable-set contract at every decision — ids in range and
+/// strictly ascending — then defers to the engine policy.
+class ValidatingHook final : public sim::SchedulerHook {
+ public:
+  explicit ValidatingHook(int cpus) : cpus_(cpus) {}
+  int pick(const std::vector<int>& runnable) override {
+    ++decisions_;
+    EXPECT_FALSE(runnable.empty());
+    for (std::size_t i = 0; i < runnable.size(); ++i) {
+      EXPECT_GE(runnable[i], 0);
+      EXPECT_LT(runnable[i], cpus_);
+      if (i > 0) EXPECT_LT(runnable[i - 1], runnable[i]) << "ids not ascending";
+    }
+    return kUseDefault;
+  }
+  std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  int cpus_;
+  std::uint64_t decisions_ = 0;
+};
+
+TEST(SchedulerHookTest, RunnableSetStaysAscendingAndPassThroughAt128Cpus) {
+  // The widened CPU axis goes through the same hook contract: the runnable
+  // enumeration is ascending and complete, and deferring every decision
+  // still reproduces the hookless schedule bit-for-bit.
+  const std::uint64_t bare = run_fig1_small(128, nullptr);
+  ValidatingHook hook(128);
+  EXPECT_EQ(run_fig1_small(128, &hook), bare);
+  EXPECT_GT(hook.decisions(), 0u);
+}
+
+TEST(SchedulerHookTest, ScriptedHookReplaysAt128Cpus) {
+  ScriptedHook a;
+  const std::uint64_t cycles_a = run_fig1_small(128, &a);
+  ASSERT_FALSE(a.trace().empty());
+  ReplayHook replay(a.trace());
+  EXPECT_EQ(run_fig1_small(128, &replay), cycles_a);
+}
+
 TEST(SchedulerHookTest, HookChangeDuringRunIsRejected) {
   sim::Engine eng(bench::make_cfg(sim::Mode::kTcc, 1));
   atomos::Runtime rt(eng);

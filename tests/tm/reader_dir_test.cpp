@@ -33,21 +33,24 @@ constexpr sim::LineAddr kLine0 = sim::kVaBase >> sim::Config::kLineShift;
 
 TEST(ReaderDirTest, AddRemoveMaskAndCounts) {
   ReaderDir dir(4);
-  EXPECT_EQ(dir.mask(kLine0), 0u);
+  EXPECT_FALSE(dir.is_reader(kLine0, 1));
 
   dir.add(kLine0, 1);
   dir.add(kLine0, 3);
   dir.add(kLine0, 3);  // same line in two stacked read sets on CPU 3
-  EXPECT_EQ(dir.mask(kLine0), (1u << 1) | (1u << 3));
+  EXPECT_TRUE(dir.is_reader(kLine0, 1));
+  EXPECT_TRUE(dir.is_reader(kLine0, 3));
+  EXPECT_FALSE(dir.is_reader(kLine0, 0));
   EXPECT_EQ(dir.count(kLine0, 1), 1u);
   EXPECT_EQ(dir.count(kLine0, 3), 2u);
 
   dir.remove(kLine0, 3);
-  EXPECT_EQ(dir.mask(kLine0), (1u << 1) | (1u << 3));  // one ref left
+  EXPECT_TRUE(dir.is_reader(kLine0, 3));  // one ref left
   dir.remove(kLine0, 3);
-  EXPECT_EQ(dir.mask(kLine0), 1u << 1);  // last ref clears the bit
+  EXPECT_FALSE(dir.is_reader(kLine0, 3));  // last ref clears the bit
+  EXPECT_TRUE(dir.is_reader(kLine0, 1));
   dir.remove(kLine0, 1);
-  EXPECT_EQ(dir.mask(kLine0), 0u);
+  EXPECT_FALSE(dir.is_reader(kLine0, 1));
   EXPECT_EQ(dir.count(kLine0, 1), 0u);
 }
 
@@ -55,11 +58,39 @@ TEST(ReaderDirTest, LinesAreIndependent) {
   ReaderDir dir(2);
   dir.add(kLine0, 0);
   dir.add(kLine0 + 5, 1);
-  EXPECT_EQ(dir.mask(kLine0), 1u << 0);
-  EXPECT_EQ(dir.mask(kLine0 + 5), 1u << 1);
-  EXPECT_EQ(dir.mask(kLine0 + 1), 0u);  // untouched line in between
+  EXPECT_TRUE(dir.is_reader(kLine0, 0));
+  EXPECT_TRUE(dir.is_reader(kLine0 + 5, 1));
+  EXPECT_FALSE(dir.is_reader(kLine0 + 1, 0));  // untouched line in between
+  EXPECT_FALSE(dir.is_reader(kLine0 + 1, 1));
   dir.remove(kLine0, 0);
-  EXPECT_EQ(dir.mask(kLine0 + 5), 1u << 1);
+  EXPECT_TRUE(dir.is_reader(kLine0 + 5, 1));
+}
+
+TEST(ReaderDirTest, MultiWordMasksAbove64Cpus) {
+  // CPUs 64..127 live in the second mask word; the word-granular view the
+  // commit path walks (mask_words) must place and clear their bits there.
+  ReaderDir dir(128);
+  EXPECT_EQ(dir.mask_stride(), 2u);
+  dir.add(kLine0, 5);
+  dir.add(kLine0, 64);
+  dir.add(kLine0, 127);
+  const std::uint64_t* w = dir.mask_words(kLine0);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w[0], std::uint64_t{1} << 5);
+  EXPECT_EQ(w[1], (std::uint64_t{1} << 0) | (std::uint64_t{1} << 63));
+  dir.remove(kLine0, 64);
+  EXPECT_EQ(dir.mask_words(kLine0)[1], std::uint64_t{1} << 63);
+  EXPECT_TRUE(dir.is_reader(kLine0, 127));
+  EXPECT_FALSE(dir.is_reader(kLine0, 64));
+  EXPECT_TRUE(dir.is_reader(kLine0, 5));
+}
+
+TEST(ReaderDirTest, SmallSimStaysSingleWord) {
+  // The stride is sized from the sim's actual CPU count, so a paper-scale
+  // run does not pay kMaxCpus-width masks per line.
+  EXPECT_EQ(ReaderDir(8).mask_stride(), 1u);
+  EXPECT_EQ(ReaderDir(64).mask_stride(), 1u);
+  EXPECT_EQ(ReaderDir(65).mask_stride(), 2u);
 }
 
 TEST(ReaderDirIntegration, CommitFlagsLiveReader) {
