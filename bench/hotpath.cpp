@@ -11,12 +11,18 @@
 // Results are written as JSON (BENCH_hotpath.json) via the harness, with a
 // pure-host calibration loop so throughput can be normalized across
 // machines (see bench/run_bench.sh and tools/check_hotpath.py).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "harness/speedup.h"
+#include "sim/fiber.h"
+#include "sim/flat_map.h"
+#include "tm/reader_dir.h"
 #include "tm/runtime.h"
 #include "tm/shared.h"
 #include "trace/tracer.h"
@@ -25,6 +31,33 @@ namespace {
 
 constexpr int kCpus = 8;
 constexpr int kCellsPerCpu = 64;
+
+// The container this runs in shares one CPU with everything else, so single
+// runs swing by double-digit percentages.  Every scenario is therefore run
+// once untimed (warmup: page-in, branch predictors, the fiber-stack and L1
+// pools) and then kReps times, keeping the best wall time.  Simulated cycles
+// must agree across every rep — a mismatch means the simulation is not
+// deterministic, which is a bug worth aborting a benchmark run over.
+constexpr int kReps = 3;
+
+harness::BenchResult best_of(const std::function<harness::BenchResult()>& scenario) {
+  harness::BenchResult warm = scenario();  // discarded (except as a witness)
+  harness::BenchResult best = scenario();
+  for (int rep = 1; rep < kReps; ++rep) {
+    harness::BenchResult r = scenario();
+    if (r.sim_cycles != best.sim_cycles || warm.sim_cycles != best.sim_cycles) {
+      std::fprintf(stderr,
+                   "hotpath: %s sim_cycles varied across reps (%llu vs %llu): "
+                   "simulation is not deterministic\n",
+                   r.name.c_str(), static_cast<unsigned long long>(r.sim_cycles),
+                   static_cast<unsigned long long>(best.sim_cycles));
+      std::exit(1);
+    }
+    if (r.wall_seconds < best.wall_seconds) best = std::move(r);
+  }
+  best.extras.emplace_back("reps", static_cast<double>(kReps));
+  return best;
+}
 
 // Conflict identity comes from the cells' deterministic *virtual* addresses
 // (8 bytes each, assigned in construction order — eight cells per 64-byte
@@ -244,6 +277,8 @@ harness::BenchResult bench_fiber_spawn(int cpus, int engines) {
   harness::BenchResult r;
   r.name = "fiber_spawn_" + std::to_string(cpus);
   r.ops = static_cast<std::uint64_t>(cpus) * static_cast<std::uint64_t>(engines);
+  const sim::StackPoolStats sp0 = sim::stack_pool_stats();
+  const sim::L1PoolStats lp0 = sim::l1_pool_stats();
   const auto t0 = std::chrono::steady_clock::now();
   for (int e = 0; e < engines; ++e) {
     sim::Config c;
@@ -258,6 +293,127 @@ harness::BenchResult bench_fiber_spawn(int cpus, int engines) {
   }
   const auto t1 = std::chrono::steady_clock::now();
   r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  // Pool effectiveness for this scenario's window (the whole point of the
+  // pools is that spawn churn recycles instead of hitting mmap/malloc).
+  const sim::StackPoolStats sp1 = sim::stack_pool_stats();
+  const sim::L1PoolStats lp1 = sim::l1_pool_stats();
+  const auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  };
+  r.extras.emplace_back("stack_pool_hit_rate",
+                        rate(sp1.hits - sp0.hits, sp1.misses - sp0.misses));
+  r.extras.emplace_back("l1_pool_hit_rate",
+                        rate(lp1.hits - lp0.hits, lp1.misses - lp0.misses));
+  return r;
+}
+
+// ---- engine-free kernel microscenarios -------------------------------------
+// The three data-path kernels the TM runtime leans on, exercised directly
+// (no engine, no fibers) so a change to one of them shows up undiluted by
+// scheduler cost.  These have no simulated clock; sim_cycles carries a
+// deterministic checksum of the results instead, which the CI cycle-identity
+// comparison then uses to witness that e.g. the SSE2 and SWAR FlatMap
+// kernels compute identical answers.
+
+/// FlatMap in the TM runtime's dominant pattern: a small table filled by
+/// try_emplace (with duplicate hits), probed by find (hits and misses), then
+/// generation-cleared — one "transaction" per iteration.
+harness::BenchResult bench_flatmap_probe(int iters) {
+  sim::FlatMap<std::uint64_t, std::uint64_t> m;
+  std::uint64_t sum = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    const std::uint64_t base = 0x40000000u + static_cast<std::uint64_t>(i % 64) * 8;
+    for (int w = 0; w < 12; ++w) {
+      auto [v, inserted] = m.try_emplace(base + (w * 5) % 8, static_cast<std::uint64_t>(w));
+      sum += *v + (inserted ? 1 : 0);  // (w*5)%8 repeats: read-own-write hits
+    }
+    for (int p = 0; p < 16; ++p) {
+      // Half the probed keys are present, half miss (the post-commit lookup
+      // and Bloom-filter-confirm paths respectively).
+      if (const std::uint64_t* v = m.find(base + p)) sum += *v;
+    }
+    m.clear();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  harness::BenchResult r;
+  r.name = "flatmap_probe";
+  r.ops = static_cast<std::uint64_t>(iters) * 28;  // emplaces + probes
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.sim_cycles = sum;  // checksum witness (see header comment)
+  return r;
+}
+
+/// ReaderDir commit-broadcast kernel at the three CPU widths: sparse reader
+/// masks walked with for_each_reader_except, plus the add/remove churn a
+/// transaction lifetime causes.
+harness::BenchResult bench_reader_flag(int ncpus, int iters) {
+  atomos::ReaderDir rd(ncpus);
+  constexpr std::uint64_t kLineBase = sim::kVaBase >> sim::Config::kLineShift;
+  constexpr int kLines = 64;
+  // Sparse population: 3 readers per line, spread across the mask words.
+  for (int l = 0; l < kLines; ++l) {
+    for (int s = 0; s < 3; ++s) rd.add(kLineBase + l, (l + s * (ncpus / 3 + 1)) % ncpus);
+  }
+  std::uint64_t sum = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    const sim::LineAddr line = kLineBase + (i % kLines);
+    const int committer = i % ncpus;
+    rd.for_each_reader_except(line, committer, [&sum](int cpu) { sum += cpu + 1; });
+    const int churn = (i * 7) % ncpus;
+    rd.add(line, churn);
+    rd.remove(line, churn);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  harness::BenchResult r;
+  r.name = "reader_flag_" + std::to_string(ncpus);
+  r.ops = static_cast<std::uint64_t>(iters);
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.sim_cycles = sum;  // checksum witness
+  return r;
+}
+
+/// Commit-drain dedup kernel: collapsing a positional write log to unique
+/// lines, at both the small-set (linear scan) and large-set (sort+unique)
+/// shapes broadcast_and_apply switches between.
+harness::BenchResult bench_commit_drain(int iters) {
+  std::vector<sim::LineAddr> scratch;
+  scratch.reserve(128);
+  std::uint64_t sum = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    // Alternate between an 8-entry log with duplicates (rw_commit shape) and
+    // a 48-entry log (collection-class bulk commit shape).
+    const int entries = (i & 1) ? 48 : 8;
+    scratch.clear();
+    for (int e = 0; e < entries; ++e) {
+      const sim::LineAddr line = 0x1000000 + (i + e * 3) % (entries / 2);
+      if (entries <= 32) {
+        if (scratch.empty() || scratch.back() != line) {
+          bool seen = false;
+          for (const sim::LineAddr l : scratch) {
+            if (l == line) { seen = true; break; }
+          }
+          if (!seen) scratch.push_back(line);
+        }
+      } else {
+        scratch.push_back(line);
+      }
+    }
+    if (entries > 32) {
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    }
+    for (const sim::LineAddr l : scratch) sum += l;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  harness::BenchResult r;
+  r.name = "commit_drain";
+  r.ops = static_cast<std::uint64_t>(iters);
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.sim_cycles = sum;  // checksum witness
   return r;
 }
 
@@ -280,26 +436,33 @@ int main(int argc, char** argv) {
 
   const double calib = calibrate();
   std::vector<harness::BenchResult> results;
-  results.push_back(bench_rw_commit(20000));
-  results.push_back(bench_read_dominated(20000));
-  results.push_back(bench_nested_frames(10000));
-  results.push_back(bench_open_nested(10000));
-  results.push_back(bench_contended(4000));
+  results.push_back(best_of([] { return bench_rw_commit(20000); }));
+  results.push_back(best_of([] { return bench_read_dominated(20000); }));
+  results.push_back(best_of([] { return bench_nested_frames(10000); }));
+  results.push_back(best_of([] { return bench_open_nested(10000); }));
+  results.push_back(best_of([] { return bench_contended(4000); }));
   // Engine hot-loop microbenches: scheduler decision cost and fiber
   // construction/teardown, at the paper scale (8), the old CPU-axis top
   // (32) and the new top (128).  Total ticks are held constant across the
   // sched_scan widths so their ops/sec are directly comparable.
-  results.push_back(bench_sched_scan(8, 400000));
-  results.push_back(bench_sched_scan(32, 100000));
-  results.push_back(bench_sched_scan(128, 25000));
-  results.push_back(bench_fiber_spawn(8, 2000));
-  results.push_back(bench_fiber_spawn(32, 500));
-  results.push_back(bench_fiber_spawn(128, 125));
+  results.push_back(best_of([] { return bench_sched_scan(8, 400000); }));
+  results.push_back(best_of([] { return bench_sched_scan(32, 100000); }));
+  results.push_back(best_of([] { return bench_sched_scan(128, 25000); }));
+  results.push_back(best_of([] { return bench_fiber_spawn(8, 2000); }));
+  results.push_back(best_of([] { return bench_fiber_spawn(32, 500); }));
+  results.push_back(best_of([] { return bench_fiber_spawn(128, 125); }));
+  // Data-path kernels, engine-free (their sim_cycles field is a checksum —
+  // build-invariance witness across the SIMD and SWAR kernels).
+  results.push_back(best_of([] { return bench_flatmap_probe(300000); }));
+  results.push_back(best_of([] { return bench_reader_flag(8, 2000000); }));
+  results.push_back(best_of([] { return bench_reader_flag(32, 2000000); }));
+  results.push_back(best_of([] { return bench_reader_flag(128, 1000000); }));
+  results.push_back(best_of([] { return bench_commit_drain(500000); }));
   // Trace-on twins: same work with an in-memory tracer attached, so the
   // JSON records what turning tracing on costs (and witnesses that it
   // leaves simulated cycles untouched).
-  results.push_back(traced_twin(bench_rw_commit, 20000));
-  results.push_back(traced_twin(bench_contended, 4000));
+  results.push_back(best_of([] { return traced_twin(bench_rw_commit, 20000); }));
+  results.push_back(best_of([] { return traced_twin(bench_contended, 4000); }));
 
   std::printf("%-16s %12s %10s %14s %14s\n", "scenario", "txns", "wall(s)", "txns/sec",
               "sim_cycles");

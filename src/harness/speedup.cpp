@@ -72,6 +72,9 @@ void write_bench_json(const std::string& path, const std::string& bench,
     if (calibration_ops_per_sec > 0.0) {
       out << ", \"normalized\": " << json_double(ops_per_sec / calibration_ops_per_sec);
     }
+    for (const auto& [key, value] : r.extras) {
+      out << ", \"" << json_escape(key) << "\": " << json_double(value);
+    }
     out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

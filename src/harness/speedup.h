@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/config.h"
@@ -61,7 +62,14 @@ struct BenchResult {
   std::uint64_t ops = 0;         ///< operations (e.g. committed transactions)
   double wall_seconds = 0.0;     ///< host wall-clock time for those ops
   std::uint64_t sim_cycles = 0;  ///< simulated cycles — MUST be invariant
-                                 ///< across host-side optimisations
+                                 ///< across host-side optimisations.  Engine-
+                                 ///< free kernel scenarios store a
+                                 ///< deterministic result checksum here; it
+                                 ///< plays the same role (build-invariance
+                                 ///< witness, e.g. SIMD vs SWAR).
+  /// Optional scenario-specific numeric facts (pool hit rates, rep counts).
+  /// Emitted verbatim as extra JSON fields; not compared by the CI gate.
+  std::vector<std::pair<std::string, double>> extras;
 };
 
 /// Writes benchmark results as JSON so the perf trajectory can be recorded

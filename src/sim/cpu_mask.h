@@ -52,6 +52,26 @@ struct CpuMask {
       }
     }
   }
+
+  /// for_each with one CPU excluded — the shared kernel behind commit
+  /// broadcast (invalidate all copies but the committer's) and MESI
+  /// write-upgrade (drop all sharers but the writer).  The excluded bit is
+  /// masked out of its word up front, so members are walked with the same
+  /// branch-free countr_zero loop and callers drop their per-member
+  /// `if (c != me)` test.
+  template <class F>
+  void for_each_except(int skip, F f) const {
+    const int skip_word = skip >> 6;
+    const std::uint64_t skip_bit = std::uint64_t{1} << (skip & 63);
+    for (int wi = 0; wi < kWords; ++wi) {
+      std::uint64_t m = w[wi];
+      if (wi == skip_word) m &= ~skip_bit;
+      while (m != 0) {
+        f(wi * 64 + std::countr_zero(m));
+        m &= m - 1;
+      }
+    }
+  }
 };
 
 }  // namespace sim

@@ -171,6 +171,9 @@ thread_local FiberCtx g_ctx;
 // headroom; beyond that, stacks are really unmapped.
 constexpr std::size_t kStackPoolCap = 192;
 
+thread_local std::uint64_t g_stack_pool_hits = 0;
+thread_local std::uint64_t g_stack_pool_misses = 0;
+
 // __cxa_get_globals returns a fixed per-thread address; cache it so the two
 // EH-globals swaps per switch don't each pay an external libsupc++ call.
 inline void* eh_globals_addr() {
@@ -208,6 +211,8 @@ inline void finish_arrival_in_fiber(Fiber* self, void* fake_save) {
 
 }  // namespace
 
+StackPoolStats stack_pool_stats() { return {g_stack_pool_hits, g_stack_pool_misses}; }
+
 Fiber* Fiber::current() noexcept { return g_ctx.current; }
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
@@ -233,10 +238,12 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
       __asan_unpoison_memory_region(static_cast<char*>(mem) + ps,
                                     map_bytes_ - ps);
 #endif
+      ++g_stack_pool_hits;
       break;
     }
   }
   if (mem == nullptr) {
+    ++g_stack_pool_misses;
     mem = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
     if (mem == MAP_FAILED) throw std::runtime_error("Fiber: mmap failed");

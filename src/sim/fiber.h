@@ -37,6 +37,17 @@ namespace sim {
 /// fiber machinery treats it as normal termination.
 struct FiberKilled {};
 
+/// Hit/miss counters for the calling thread's fiber stack free-list
+/// (cumulative).  A hit is a Fiber construction served from a pooled stack;
+/// a miss paid mmap+mprotect.  bench/hotpath surfaces the spawn scenarios'
+/// hit rate in BENCH_hotpath.json so pool-defeating regressions (wrong
+/// sizes, cap thrash) are visible, not inferred from wall time.
+struct StackPoolStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+StackPoolStats stack_pool_stats();
+
 /// A cooperatively scheduled stackful coroutine.
 ///
 /// Usage:

@@ -7,17 +7,52 @@
 
 namespace sim {
 
+namespace {
+thread_local std::uint64_t g_l1_pool_hits = 0;
+thread_local std::uint64_t g_l1_pool_misses = 0;
+// Engines created/destroyed in sequence on one thread (figure sweeps, the
+// spawn benches) reuse one buffer; a small cap covers nested lifetimes.
+constexpr std::size_t kL1PoolCap = 4;
+}  // namespace
+
+L1PoolStats l1_pool_stats() { return {g_l1_pool_hits, g_l1_pool_misses}; }
+
+std::vector<std::vector<MemSys::Way>>& MemSys::l1_pool() {
+  thread_local std::vector<std::vector<Way>> pool;
+  return pool;
+}
+
 MemSys::MemSys(const Config& cfg, Stats& stats) : cfg_(cfg), stats_(stats) {
   if (cfg.l1_sets == 0 || (cfg.l1_sets & (cfg.l1_sets - 1)) != 0)
     throw std::invalid_argument("MemSys: l1_sets must be a power of two");
   set_mask_ = cfg.l1_sets - 1;
-  l1_.resize(static_cast<std::size_t>(cfg.num_cpus));
-  for (auto& c : l1_) c.resize(static_cast<std::size_t>(cfg.l1_sets) * cfg.l1_assoc);
+  cpu_stride_ = static_cast<std::size_t>(cfg.l1_sets) * cfg.l1_assoc;
+  const std::size_t need = static_cast<std::size_t>(cfg.num_cpus) * cpu_stride_;
+  // Recycle a pooled backing buffer when one is big enough: assign() memsets
+  // it back to the all-invalid state without any allocator round trip.
+  auto& pool = l1_pool();
+  for (std::size_t i = pool.size(); i-- > 0;) {
+    if (pool[i].capacity() >= need) {
+      l1_ = std::move(pool[i]);
+      pool[i] = std::move(pool.back());
+      pool.pop_back();
+      ++g_l1_pool_hits;
+      break;
+    }
+  }
+  if (l1_.capacity() < need) ++g_l1_pool_misses;
+  l1_.assign(need, Way{});
   spec_ways_.resize(static_cast<std::size_t>(cfg.num_cpus));
 }
 
+MemSys::~MemSys() {
+  auto& pool = l1_pool();
+  if (pool.size() < kL1PoolCap && l1_.capacity() > 0)
+    pool.push_back(std::move(l1_));
+}
+
 MemSys::Way* MemSys::find(int cpu, LineAddr line) {
-  auto& c = l1_[static_cast<std::size_t>(cpu)];
+  Way* c = l1_of(cpu);
   const std::size_t set = static_cast<std::size_t>(line & set_mask_) * cfg_.l1_assoc;
   for (std::size_t i = 0; i < cfg_.l1_assoc; ++i) {
     Way& w = c[set + i];
@@ -27,7 +62,7 @@ MemSys::Way* MemSys::find(int cpu, LineAddr line) {
 }
 
 MemSys::Way& MemSys::victim(int cpu, LineAddr line) {
-  auto& c = l1_[static_cast<std::size_t>(cpu)];
+  Way* c = l1_of(cpu);
   const std::size_t set = static_cast<std::size_t>(line & set_mask_) * cfg_.l1_assoc;
   Way* best = &c[set];
   for (std::size_t i = 0; i < cfg_.l1_assoc; ++i) {
@@ -117,17 +152,23 @@ std::uint64_t MemSys::plain_store(int cpu, std::uintptr_t addr, std::uint64_t t)
     return t + cfg_.l1_hit_cycles;
   }
   // Upgrade (S) or read-for-ownership (miss): invalidate all other copies.
-  // Copy the directory fields first: drop_from may erase (and move) entries.
+  // Batched like invalidate_copies: the entry is overwritten wholesale at
+  // the end, so the per-sharer directory bookkeeping drop_from would do is
+  // dead work — only the L1 ways need dropping.  An exclusive owner is
+  // always in the sharer mask (plain_load/plain_store maintain that), so
+  // the walk below covers it; its writeback charge is read off first.
   Dir d{};
   if (const Dir* p = dir_.find(line)) d = *p;
   std::uint32_t occ = (w != nullptr) ? 0 : cfg_.bus_xfer_cycles;
   if (d.owner >= 0 && d.owner != cpu) {
     if (Way* ow = find(d.owner, line); ow != nullptr && ow->state == St::M)
       occ += cfg_.writeback_cycles;
-    drop_from(d.owner, line);
   }
-  d.sharers.for_each([&](int c) {
-    if (c != cpu) drop_from(c, line);
+  d.sharers.for_each_except(cpu, [&](int c) {
+    if (Way* ow = find(c, line)) {
+      ow->state = St::I;
+      ow->spec_dirty = false;
+    }
   });
   const bool was_miss = (w == nullptr);
   if (was_miss) {
@@ -188,7 +229,7 @@ std::uint64_t MemSys::tx_store(int cpu, std::uintptr_t addr, std::uint64_t t) {
   if (!w->spec_dirty) {
     w->spec_dirty = true;  // buffered in cache, no bus traffic until commit
     spec_ways_[static_cast<std::size_t>(cpu)].push_back(
-        static_cast<std::uint32_t>(w - l1_[static_cast<std::size_t>(cpu)].data()));
+        static_cast<std::uint32_t>(w - l1_of(cpu)));
   }
   w->lru = ++lru_tick_;
   return done;
@@ -199,7 +240,7 @@ std::uint64_t MemSys::tcc_commit(int cpu, std::size_t write_lines, std::uint64_t
       static_cast<std::uint32_t>(write_lines) * cfg_.commit_line_cycles;
   std::uint64_t done = bus_.transact(t, cfg_.commit_arb_cycles, occ);
   // Mark own written lines as committed (no longer speculative).
-  auto& c = l1_[static_cast<std::size_t>(cpu)];
+  Way* c = l1_of(cpu);
   auto& sw = spec_ways_[static_cast<std::size_t>(cpu)];
   for (const std::uint32_t i : sw) c[i].spec_dirty = false;
   sw.clear();
@@ -207,16 +248,27 @@ std::uint64_t MemSys::tcc_commit(int cpu, std::size_t write_lines, std::uint64_t
 }
 
 void MemSys::invalidate_copies(int committer, LineAddr line) {
-  const Dir* d = dir_.find(line);
+  Dir* d = dir_.find(line);
   if (d == nullptr) return;
-  const CpuMask sharers = d->sharers;  // copy: drop_from mutates the table
-  sharers.for_each([&](int c) {
-    if (c != committer) drop_from(c, line);
+  // Batched drop: one directory probe for the whole broadcast.  The L1 way
+  // invalidations never touch dir_, so holding d across them is safe; the
+  // final sharer state is written back (or the entry erased) exactly once,
+  // instead of a find+erase round trip per sharer (drop_from).
+  d->sharers.for_each_except(committer, [&](int c) {
+    if (Way* w = find(c, line)) {
+      w->state = St::I;
+      w->spec_dirty = false;
+    }
   });
+  const bool keep = d->sharers.test(committer);
+  d->sharers.reset();
+  if (keep) d->sharers.set(committer);
+  if (d->owner != committer) d->owner = -1;
+  if (!keep && d->owner < 0) dir_.erase(line);
 }
 
 void MemSys::abort_clear_speculative(int cpu) {
-  auto& c = l1_[static_cast<std::size_t>(cpu)];
+  Way* c = l1_of(cpu);
   auto& sw = spec_ways_[static_cast<std::size_t>(cpu)];
   for (const std::uint32_t i : sw) {
     Way& w = c[i];

@@ -62,9 +62,21 @@ class Bus {
   std::uint64_t busy_cycles_ = 0;
 };
 
+/// Hit/miss counters for the per-thread L1 way-array pool (see MemSys ctor).
+/// Cumulative for the calling thread; surfaced by bench/hotpath so the pool
+/// stays observable in BENCH_hotpath.json.
+struct L1PoolStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+L1PoolStats l1_pool_stats();
+
 class MemSys {
  public:
   MemSys(const Config& cfg, Stats& stats);
+  ~MemSys();
+  MemSys(const MemSys&) = delete;
+  MemSys& operator=(const MemSys&) = delete;
 
   // --- MESI (lock-mode / non-speculative) accesses ---
   std::uint64_t plain_load(int cpu, std::uintptr_t addr, std::uint64_t t);
@@ -111,13 +123,25 @@ class MemSys {
   void drop_from(int cpu, LineAddr line);  // cache+dir removal
   void dir_remove_cpu(LineAddr line, int cpu);
 
+  Way* l1_of(int cpu) { return l1_.data() + static_cast<std::size_t>(cpu) * cpu_stride_; }
+
+  static std::vector<std::vector<Way>>& l1_pool();  // per-thread recycled buffers
+
   const Config& cfg_;
   Stats& stats_;
   Bus bus_;
   // l1_sets is validated as a power of two so the per-access set lookup is
   // a mask, not a runtime integer division (find/victim run on every access).
   std::size_t set_mask_ = 0;
-  std::vector<std::vector<Way>> l1_;  // [cpu][set*assoc + way]
+  // All CPUs' L1 ways in ONE flat array, [cpu * cpu_stride_ + set*assoc + way].
+  // One array instead of per-CPU vectors removes a pointer chase from find()
+  // (every simulated access) and — more importantly — keeps engine teardown
+  // from free()ing num_cpus separate blocks: at 128 CPUs that churn crossed
+  // glibc's trim threshold, returning ~1.5MB to the kernel per engine and
+  // page-faulting it back in the next one (the fiber_spawn_128 cliff).  The
+  // single buffer is recycled through a per-thread pool instead.
+  std::vector<Way> l1_;
+  std::size_t cpu_stride_ = 0;
   // Ways a CPU has speculatively written (spec_dirty set by tx_store), so
   // commit/abort clear exactly those instead of sweeping the whole L1.
   // May hold stale indices (eviction clears the flag without unlisting);

@@ -35,6 +35,7 @@
 // indexing, not hashing: idx = line - (kVaBase >> kLineShift).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -113,6 +114,28 @@ class ReaderDir {
     return i < nlines_ ? &mask_[i * words_] : nullptr;
   }
   std::size_t mask_stride() const { return words_; }
+
+  /// Calls f(cpu) for every reader of `line` except `except` (the committer
+  /// flagging its own write lines must not flag itself).  The word-parallel
+  /// kernel of the commit broadcast: the excluded bit is masked out of its
+  /// word up front and members are found with countr_zero over whole words,
+  /// so a sparse reader set costs O(set bits) with no per-bit branches.
+  template <class F>
+  void for_each_reader_except(sim::LineAddr line, int except, F f) const {
+    const std::size_t i = index(line);
+    if (i >= nlines_) return;
+    const std::uint64_t* words = &mask_[i * words_];
+    const std::size_t xw = static_cast<std::size_t>(except) >> 6;
+    const std::uint64_t xbit = std::uint64_t{1} << (except & 63);
+    for (std::size_t wi = 0; wi < words_; ++wi) {
+      std::uint64_t m = words[wi];
+      if (wi == xw) m &= ~xbit;
+      while (m != 0) {
+        f(static_cast<int>(wi * 64) + std::countr_zero(m));
+        m &= m - 1;
+      }
+    }
+  }
 
   /// True if `cpu` has `line` in at least one live read set.
   bool is_reader(sim::LineAddr line, int cpu) const {

@@ -117,10 +117,15 @@ Txn* Runtime::begin_txn(int cpu, bool open, int attempt) {
 
 void Runtime::release_txn(Txn* t) {
   // The lines still in the read set hold reader-directory references; drop
-  // them before the Txn identity disappears into the pool.
+  // them before the Txn identity disappears into the pool.  Every such line
+  // entered the read set as exactly one surviving prev<0 read_log entry
+  // (frame rollback removes the log entry and the read_frame entry
+  // together), so draining the log visits each live line exactly once —
+  // O(reads taken), not O(read-table capacity).
   const int cpu = t->cpu;
-  t->read_frame.for_each(
-      [this, cpu](sim::LineAddr line, const std::int32_t&) { reader_dir_.remove(line, cpu); });
+  for (const auto& [line, prev] : t->read_log) {
+    if (prev < 0) reader_dir_.remove(line, cpu);
+  }
   // Destroy captured state promptly (handlers can pin user objects); the
   // plain-data logs keep their capacity for the next incarnation.
   t->commit_handlers.clear();
@@ -308,35 +313,25 @@ void Runtime::release_token(int cpu) {
 /// when profiling is on.  The reader directory narrows the scan to CPUs that
 /// actually read the line, so a commit costs O(write lines x real readers).
 void Runtime::flag_readers(sim::LineAddr line, int committer) {
-  const std::uint64_t* words = reader_dir_.mask_words(line);
-  if (words == nullptr) return;
-  const std::size_t stride = reader_dir_.mask_stride();
   const bool profiling = profile_.enabled();
-  for (std::size_t wi = 0; wi < stride; ++wi) {
-    std::uint64_t m = words[wi];
-    if (wi == (static_cast<std::size_t>(committer) >> 6))
-      m &= ~(std::uint64_t{1} << (committer & 63));
-    while (m != 0) {
-      const int c = static_cast<int>(wi * 64) + std::countr_zero(m);
-      m &= m - 1;
-      for (Txn* v = ctx(c).cur; v != nullptr; v = v->parent) {
-        // Ancestors of the committer are exempt by construction (they are on
-        // another CPU here, so no exemption needed).
-        const std::int32_t* f = v->read_frame.find(line);
-        if (f == nullptr) continue;
-        const int frame = *f;
-        if (v->kill_frame < 0 || frame < v->kill_frame) v->kill_frame = frame;
-        if (tracer_ != nullptr) tracer_->on_violation_flag(committer, eng_.now(), line, c);
-        if (profiling) {
-          // Interned id, not string: the "violations@<label>" stats entries
-          // are materialized once at teardown (flush_violation_counters).
-          const std::size_t slot = static_cast<std::size_t>(profile_.find_id(line) + 1);
-          if (slot >= viol_counts_.size()) viol_counts_.resize(slot + 1, 0);
-          ++viol_counts_[slot];
-        }
+  reader_dir_.for_each_reader_except(line, committer, [&](int c) {
+    for (Txn* v = ctx(c).cur; v != nullptr; v = v->parent) {
+      // Ancestors of the committer are exempt by construction (they are on
+      // another CPU here, so no exemption needed).
+      const std::int32_t* f = v->read_frame.find(line);
+      if (f == nullptr) continue;
+      const int frame = *f;
+      if (v->kill_frame < 0 || frame < v->kill_frame) v->kill_frame = frame;
+      if (tracer_ != nullptr) tracer_->on_violation_flag(committer, eng_.now(), line, c);
+      if (profiling) {
+        // Interned id, not string: the "violations@<label>" stats entries
+        // are materialized once at teardown (flush_violation_counters).
+        const std::size_t slot = static_cast<std::size_t>(profile_.find_id(line) + 1);
+        if (slot >= viol_counts_.size()) viol_counts_.resize(slot + 1, 0);
+        ++viol_counts_[slot];
       }
     }
-  }
+  });
 }
 
 void Runtime::flush_violation_counters() {
@@ -352,14 +347,35 @@ void Runtime::flush_violation_counters() {
 }
 
 void Runtime::broadcast_and_apply(Txn& t) {
-  // Gather the write-set lines (de-duplicated into a reusable scratch
-  // buffer), time the commit broadcast, invalidate other caches' copies,
-  // flag conflicting readers, then apply buffered values to host storage.
+  // Drain the write set as line runs with no hash probes on the commit
+  // path, so each distinct directory line is broadcast (invalidate + flag)
+  // exactly once.  Typical write sets are a handful of entries whose
+  // neighbours share a line, so the small-set path dedups with a scan of
+  // the (cache-resident) gathered lines; past that the cost flips and a
+  // sort + unique run wins.  Line order within a broadcast is
+  // timing-irrelevant: the commit is charged up front as one bus
+  // occupancy, and reader flagging only min-updates kill_frame, which is
+  // order-independent.
+  constexpr std::size_t kSortedDrainThreshold = 32;
   scratch_lines_.clear();
-  scratch_seen_.clear();
-  for (const auto& w : t.writes) {
-    const sim::LineAddr line = sim::line_of(w.addr);
-    if (scratch_seen_.try_emplace(line, 0).second) scratch_lines_.push_back(line);
+  if (t.writes.size() <= kSortedDrainThreshold) {
+    for (const auto& w : t.writes) {
+      const sim::LineAddr line = sim::line_of(w.addr);
+      if (!scratch_lines_.empty() && scratch_lines_.back() == line) continue;
+      bool seen = false;
+      for (const sim::LineAddr l : scratch_lines_) {
+        if (l == line) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) scratch_lines_.push_back(line);
+    }
+  } else {
+    for (const auto& w : t.writes) scratch_lines_.push_back(sim::line_of(w.addr));
+    std::sort(scratch_lines_.begin(), scratch_lines_.end());
+    scratch_lines_.erase(std::unique(scratch_lines_.begin(), scratch_lines_.end()),
+                         scratch_lines_.end());
   }
 
   eng_.advance_to(eng_.memsys().tcc_commit(t.cpu, scratch_lines_.size(), eng_.now()));
@@ -368,6 +384,8 @@ void Runtime::broadcast_and_apply(Txn& t) {
     eng_.memsys().invalidate_copies(t.cpu, line);
     flag_readers(line, t.cpu);
   }
+  // Value apply stays in log (program) order: entries are unique per
+  // address, so only the line walk above needed sorting.
   for (const auto& w : t.writes) {
     std::memcpy(w.host, &w.val, w.size);
   }
@@ -559,16 +577,19 @@ void Runtime::abort_txn(Txn* t) {
 
 void Runtime::notify_txn_sets(Txn* t, bool committed) {
   if (mc_observer_ == nullptr) return;
+  // Same batched idioms as the commit path: live read lines come from the
+  // surviving prev<0 read_log entries (see release_txn), write lines from a
+  // sort+unique run.  The observer treats both as sets.
   mc_reads_scratch_.clear();
   mc_writes_scratch_.clear();
-  t->read_frame.for_each([this](sim::LineAddr line, const std::int32_t&) {
-    mc_reads_scratch_.push_back(line);
-  });
-  scratch_seen_.clear();
-  for (const auto& w : t->writes) {
-    const sim::LineAddr line = sim::line_of(w.addr);
-    if (scratch_seen_.try_emplace(line, 0).second) mc_writes_scratch_.push_back(line);
+  for (const auto& [line, prev] : t->read_log) {
+    if (prev < 0) mc_reads_scratch_.push_back(line);
   }
+  for (const auto& w : t->writes) mc_writes_scratch_.push_back(sim::line_of(w.addr));
+  std::sort(mc_writes_scratch_.begin(), mc_writes_scratch_.end());
+  mc_writes_scratch_.erase(
+      std::unique(mc_writes_scratch_.begin(), mc_writes_scratch_.end()),
+      mc_writes_scratch_.end());
   mc_observer_->on_txn_sets(t->cpu, committed, t->open, mc_reads_scratch_, mc_writes_scratch_);
 }
 

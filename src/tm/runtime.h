@@ -456,9 +456,9 @@ class Runtime {
   // so commits flag conflicting readers without scanning every CPU's stack.
   ReaderDir reader_dir_;
 
-  // Commit-broadcast scratch (write-set line dedup), reused across commits.
+  // Commit-broadcast scratch (write-set lines, sorted + uniqued per
+  // commit), reused across commits.
   std::vector<sim::LineAddr> scratch_lines_;
-  sim::FlatMap<sim::LineAddr, char> scratch_seen_;
 
   // TAPE violation counters, indexed by interned label id + 1 (slot 0 =
   // unlabelled).  flag_readers bumps these; flush_violation_counters

@@ -136,5 +136,148 @@ TEST(FlatMapTest, StressAgainstUnorderedMapReference) {
   EXPECT_EQ(visited, ref.size());
 }
 
+// --- SIMD-layout-specific coverage -----------------------------------------
+// The two-array (control byte + slot) layout adds failure modes the scalar
+// table never had: 7-bit fragment collisions inside one 16-slot group (the
+// vector compare reports several candidates, and the SWAR fallback may add a
+// false positive in the lane above a true match), shifts that cross group
+// boundaries, and the per-group generation stamp wrapping around.
+
+namespace {
+// Mirrors of FlatMap's private placement functions, used to construct
+// adversarial key sets.  kFragShift/kMinCap match flat_map.h.
+std::size_t home_of(std::uint64_t key, std::size_t cap) {
+  return static_cast<std::size_t>(hash_u64(key)) & (cap - 1);
+}
+std::uint8_t frag_of(std::uint64_t key) {
+  return static_cast<std::uint8_t>(hash_u64(key) >> 57);
+}
+
+// First `n` keys (scanning upward from 1) whose home slot in a `cap`-slot
+// table equals `slot` and that satisfy `pred(key)`.
+template <class Pred>
+std::vector<std::uint64_t> keys_with_home(std::size_t cap, std::size_t slot,
+                                          std::size_t n, Pred pred) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t k = 1; out.size() < n; ++k) {
+    if (home_of(k, cap) == slot && pred(k)) out.push_back(k);
+  }
+  return out;
+}
+}  // namespace
+
+TEST(FlatMapTest, FragmentCollisionProbeChain) {
+  // Keys with the SAME home slot and the SAME 7-bit fragment: every probe
+  // sees multiple candidate bits in one group and must disambiguate by full
+  // key compare.  (This is also the path where the SWAR fallback's
+  // hasvalue-borrow false positive, if mishandled, would return a wrong
+  // slot — the differential checks below would catch a wrong value.)
+  constexpr std::size_t kCap = 16;  // kMinCap: table starts at one group
+  const auto seed = keys_with_home(kCap, 5, 1, [](std::uint64_t) { return true; });
+  const std::uint8_t frag = frag_of(seed[0]);
+  const auto keys = keys_with_home(kCap, 5, 6, [&](std::uint64_t k) {
+    return frag_of(k) == frag;
+  });
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  for (const std::uint64_t k : keys) m.try_emplace(k, k ^ 0xabcdu);
+  EXPECT_EQ(m.size(), keys.size());
+  for (const std::uint64_t k : keys) {
+    auto* v = m.find(k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k ^ 0xabcdu);
+  }
+  // Erase from the middle of the all-same-fragment chain and re-check.
+  EXPECT_TRUE(m.erase(keys[2]));
+  EXPECT_EQ(m.find(keys[2]), nullptr);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i == 2) continue;
+    auto* v = m.find(keys[i]);
+    ASSERT_NE(v, nullptr) << keys[i];
+    EXPECT_EQ(*v, keys[i] ^ 0xabcdu);
+  }
+}
+
+TEST(FlatMapTest, BackwardShiftEraseAcrossGroupBoundary) {
+  // Build a probe chain that starts in the last slots of group 0 and spills
+  // into group 1 of a 32-slot table, then erase the chain head: the
+  // backward shift must move slots (and control bytes) across the group
+  // boundary without losing anyone.
+  constexpr std::size_t kCap = 32;
+  auto chain = keys_with_home(kCap, 14, 3, [](std::uint64_t) { return true; });
+  for (const std::uint64_t k : keys_with_home(kCap, 15, 3, [](std::uint64_t) { return true; }))
+    chain.push_back(k);  // 6 keys homed at slots 14/15 -> occupy 14..19
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t k = 0; m.size() < 13; ++k)
+    m.try_emplace(0x1000000 + k, 0);      // force growth to 32 slots
+  std::vector<std::uint64_t> fill;        // then restart from a clean 32-slot table
+  m.for_each([&fill](std::uint64_t k, const std::uint64_t&) { fill.push_back(k); });
+  for (const std::uint64_t k : fill) m.erase(k);
+  ASSERT_TRUE(m.empty());
+  for (const std::uint64_t k : chain) m.try_emplace(k, k + 7);
+  for (const std::uint64_t k : chain) ASSERT_NE(m.find(k), nullptr);
+  EXPECT_TRUE(m.erase(chain[0]));  // head at slot 14: shift crosses 15 -> 16
+  EXPECT_TRUE(m.erase(chain[3]));  // and again with the 15-homed subchain
+  EXPECT_EQ(m.find(chain[0]), nullptr);
+  EXPECT_EQ(m.find(chain[3]), nullptr);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i == 0 || i == 3) continue;
+    auto* v = m.find(chain[i]);
+    ASSERT_NE(v, nullptr) << chain[i];
+    EXPECT_EQ(*v, chain[i] + 7);
+  }
+}
+
+TEST(FlatMapTest, GenerationWraparound) {
+  // clear() bumps a uint32 generation; on wraparound to 0 every group stamp
+  // is reset so that stale groups (stamped with old generations) cannot read
+  // as live again.  set_generation_for_test() fast-forwards to the edge.
+  FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 0; k < 40; ++k) m.try_emplace(k, static_cast<int>(k));
+  m.set_generation_for_test(0xffffffffu);
+  for (std::uint64_t k = 0; k < 40; ++k) {
+    int* v = m.find(k);
+    ASSERT_NE(v, nullptr) << k;  // rebase must preserve liveness
+    EXPECT_EQ(*v, static_cast<int>(k));
+  }
+  m.clear();  // 0xffffffff -> wraps -> full stamp reset, gen back to 1
+  EXPECT_TRUE(m.empty());
+  for (std::uint64_t k = 0; k < 40; ++k) EXPECT_EQ(m.find(k), nullptr) << k;
+  for (std::uint64_t k = 0; k < 40; ++k) {
+    auto [v, inserted] = m.try_emplace(k, -1);
+    EXPECT_TRUE(inserted) << k;  // a resurrected stale slot would report false
+    EXPECT_EQ(*v, -1);
+  }
+  EXPECT_EQ(m.size(), 40u);
+}
+
+TEST(FlatMapTest, ClearHeavyStressAgainstReference) {
+  // The TM runtime's dominant usage: short bursts of inserts separated by
+  // generation-stamped clears (transaction retry loops), with the generation
+  // counter pushed across the wraparound edge repeatedly.
+  FlatMap<std::uint64_t, std::uint32_t> m;
+  std::unordered_map<std::uint64_t, std::uint32_t> ref;
+  std::mt19937_64 rng(99);
+  for (int round = 0; round < 2000; ++round) {
+    if (round % 7 == 0) m.set_generation_for_test(0xfffffffdu);  // near the edge
+    const int burst = 1 + static_cast<int>(rng() % 24);
+    for (int i = 0; i < burst; ++i) {
+      const std::uint64_t key = rng() % 128;
+      auto [v, inserted] = m.try_emplace(key, static_cast<std::uint32_t>(round));
+      const auto [it, ref_inserted] = ref.try_emplace(key, static_cast<std::uint32_t>(round));
+      ASSERT_EQ(inserted, ref_inserted);
+      ASSERT_EQ(*v, it->second);
+    }
+    const std::uint64_t probe_key = rng() % 128;
+    std::uint32_t* v = m.find(probe_key);
+    const auto it = ref.find(probe_key);
+    ASSERT_EQ(v == nullptr, it == ref.end());
+    if (v != nullptr) ASSERT_EQ(*v, it->second);
+    ASSERT_EQ(m.size(), ref.size());
+    m.clear();
+    ref.clear();
+    ASSERT_TRUE(m.empty());
+  }
+}
+
 }  // namespace
 }  // namespace sim

@@ -30,14 +30,15 @@ bool fires_at(const std::vector<Finding>& fs, std::string_view rule, int line) {
                      [&](const Finding& f) { return f.rule == rule && f.line == line; });
 }
 
-TEST(TxlintRules, EightRulesRegistered) {
+TEST(TxlintRules, NineRulesRegistered) {
   const auto& rs = rules();
-  ASSERT_EQ(rs.size(), 8u);
+  ASSERT_EQ(rs.size(), 9u);
   std::vector<std::string_view> names;
   for (const auto& r : rs) names.push_back(r.name);
   for (const char* want : {"shared-field", "raw-peek", "catch-swallow",
                            "unpaired-handler", "shared-value-capture",
-                           "trace-hook", "isolation-class", "handler-mutation"}) {
+                           "trace-hook", "isolation-class", "handler-mutation",
+                           "hot-path-container"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), want), names.end()) << want;
   }
 }
@@ -336,6 +337,45 @@ TEST(HandlerMutationRule, AllowsRegisteredMutationsAndNonMutatingHandlers) {
       "  insert(bag);\n"  // free call, not a method on a collection
       "}\n";
   EXPECT_TRUE(of_rule(scan(src), "handler-mutation").empty());
+}
+
+// ---- hot-path-container ----
+
+TEST(HotPathContainerRule, FlagsNodeContainersInHotPathHeaders) {
+  const std::string src =
+      "namespace sim {\n"                                      // 1
+      "class FlatMap {\n"                                      // 2
+      "  std::unordered_map<long, long> slots_;\n"             // 3  <- node-based
+      "  std::set<long> keys_;\n"                              // 4  <- node-based
+      "  std::vector<long> ctrl_;\n"                           // 5  flat: fine
+      "};\n"                                                   // 6
+      "}\n";
+  const auto fs = scan_source("src/sim/flat_map.h", src);
+  const auto hp = of_rule(fs, "hot-path-container");
+  EXPECT_EQ(hp.size(), 2u);
+  EXPECT_TRUE(fires_at(fs, "hot-path-container", 3));
+  EXPECT_TRUE(fires_at(fs, "hot-path-container", 4));
+}
+
+TEST(HotPathContainerRule, QuietOutsideTheHotPathHeaders) {
+  const std::string src =
+      "namespace harness {\n"
+      "std::unordered_map<long, long> table;\n"  // same tokens, cold path
+      "std::set<int> ids;\n"
+      "}\n";
+  EXPECT_TRUE(of_rule(scan_source("src/harness/driver.h", src),
+                      "hot-path-container")
+                  .empty());
+  EXPECT_TRUE(of_rule(scan(src), "hot-path-container").empty());  // fixture.cpp
+}
+
+TEST(HotPathContainerRule, MatchesByBasenameForAllThreeHeaders) {
+  const std::string src = "std::unordered_set<int> s;\n";
+  for (const char* path : {"src/sim/flat_map.h", "src/tm/reader_dir.h",
+                           "src/sim/cpu_mask.h", "cpu_mask.h"}) {
+    const auto fs = scan_source(path, src);
+    EXPECT_EQ(of_rule(fs, "hot-path-container").size(), 1u) << path;
+  }
 }
 
 // ---- suppressions and options ----

@@ -17,8 +17,15 @@ when any of the following hold:
     within the CURRENT file — attaching a tracer must be invisible to the
     simulated clock.
 
+With --cycles-only, the throughput comparisons are skipped and ONLY the
+sim_cycles equality is enforced.  That is the CI check between the SSE2 and
+TXCC_NO_SIMD builds: two differently-vectorized binaries must simulate the
+exact same cycle counts (and, for the engine-free kernel scenarios, compute
+the exact same result checksums), while their wall-clock speeds are allowed
+to differ.
+
 Usage: tools/check_hotpath.py BASELINE.json CURRENT.json
-           [--tolerance 0.25] [--geomean-tolerance 0.02]
+           [--tolerance 0.25] [--geomean-tolerance 0.02] [--cycles-only]
 """
 import argparse
 import json
@@ -32,6 +39,24 @@ def load(path):
     return {r["name"]: r for r in doc["results"]}
 
 
+def delta_table(base, cur):
+    """Side-by-side per-scenario summary, printed when the gate fails so the
+    log shows the whole landscape, not just the first tripwire."""
+    print()
+    print(f"{'scenario':<20} {'base norm':>11} {'cur norm':>11} {'ratio':>7}  "
+          f"{'sim_cycles':>10}")
+    for name in sorted(set(base) | set(cur)):
+        b, c = base.get(name), cur.get(name)
+        if b is None or c is None:
+            print(f"{name:<20} {'--- missing from ' + ('baseline' if b is None else 'current'):>40}")
+            continue
+        bn, cn = b.get("normalized"), c.get("normalized")
+        ratio = f"{cn / bn:.2f}x" if bn and cn else "n/a"
+        cyc = "match" if b["sim_cycles"] == c["sim_cycles"] else "DIFFER"
+        print(f"{name:<20} {bn or 0:>11.4g} {cn or 0:>11.4g} {ratio:>7}  {cyc:>10}")
+    print()
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -42,12 +67,33 @@ def main():
     ap.add_argument("--geomean-tolerance", type=float, default=0.02,
                     help="allowed fractional regression of the geomean "
                          "normalized-throughput ratio over trace-off scenarios")
+    ap.add_argument("--cycles-only", action="store_true",
+                    help="enforce only sim_cycles equality (cross-build "
+                         "determinism check, e.g. SIMD vs SWAR binaries)")
     args = ap.parse_args()
 
     base = load(args.baseline)
     cur = load(args.current)
     failed = False
     off_ratios = []
+
+    if args.cycles_only:
+        for name, b in sorted(base.items()):
+            c = cur.get(name)
+            if c is None:
+                print(f"FAIL {name}: scenario missing from current run")
+                failed = True
+            elif b["sim_cycles"] != c["sim_cycles"]:
+                print(f"FAIL {name}: sim_cycles {b['sim_cycles']} -> "
+                      f"{c['sim_cycles']} (builds must simulate identically)")
+                failed = True
+            else:
+                print(f"{name}: sim_cycles {b['sim_cycles']} match")
+        if failed:
+            print("check_hotpath (--cycles-only): FAILED")
+            return 1
+        print("check_hotpath (--cycles-only): ok")
+        return 0
 
     for name, b in sorted(base.items()):
         c = cur.get(name)
@@ -103,6 +149,7 @@ def main():
                   f"trace-on wall overhead {overhead:+.1%}")
 
     if failed:
+        delta_table(base, cur)
         print("check_hotpath: FAILED")
         return 1
     print("check_hotpath: ok")

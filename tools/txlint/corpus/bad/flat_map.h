@@ -1,0 +1,21 @@
+// BAD: a hot-path header (matched by basename) backing its table with
+// node-based standard containers.  Every tm_read/tm_write goes through
+// these headers; pointer-chasing layouts here are a discipline violation
+// (hot-path-container), not a style choice.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+
+namespace sim {
+
+class FlatMap {
+ public:
+  long* find(long key);
+
+ private:
+  std::unordered_map<long, long> slots_;  // node-based: fires
+  std::set<long> erased_;                 // node-based: fires
+};
+
+}  // namespace sim

@@ -1,0 +1,35 @@
+// GOOD: a hot-path header (matched by basename) on flat, word-parallel
+// structures only — raw uint64 words walked with countr_zero, a flat
+// vector for storage.  No node-based std:: container, so the
+// hot-path-container rule stays silent.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace sim {
+
+class CpuMask {
+ public:
+  void set(int cpu) { words_[cpu >> 6] |= std::uint64_t{1} << (cpu & 63); }
+  bool test(int cpu) const {
+    return ((words_[cpu >> 6] >> (cpu & 63)) & 1u) != 0;
+  }
+
+  template <class F>
+  void for_each(F f) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t m = words_[wi];
+      while (m != 0) {
+        f(static_cast<int>(wi * 64) + std::countr_zero(m));
+        m &= m - 1;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace sim

@@ -22,6 +22,7 @@ constexpr std::string_view kSharedCapture = "shared-value-capture";
 constexpr std::string_view kTraceHook = "trace-hook";
 constexpr std::string_view kIsolationClass = "isolation-class";
 constexpr std::string_view kHandlerMutation = "handler-mutation";
+constexpr std::string_view kHotPathContainer = "hot-path-container";
 
 const std::vector<RuleInfo> kRules = {
     {kSharedField,
@@ -51,7 +52,22 @@ const std::vector<RuleInfo> kRules = {
      "compensation_run site registration — the runtime auditor and the txmc "
      "oracle cannot attribute the compensation, so a doubled or lost handler "
      "run corrupts the collection silently"},
+    {kHotPathContainer,
+     "node-based std:: container (std::unordered_*, std::set/map) in a TM "
+     "hot-path header (flat_map.h, reader_dir.h, cpu_mask.h) — these headers "
+     "are the per-access data path and must stay on flat, SIMD-probeable "
+     "layouts"},
 };
+
+// Headers on the per-access TM data path: every tm_read/tm_write and every
+// commit broadcast goes through these.  A node-based standard container here
+// reintroduces exactly the pointer-chasing the FlatMap/CpuMask rewrite
+// removed, so its appearance is a discipline violation, not a style choice.
+const std::unordered_set<std::string_view> kHotPathHeaders = {
+    "flat_map.h", "reader_dir.h", "cpu_mask.h"};
+const std::unordered_set<std::string_view> kNodeContainers = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset", "set", "multiset", "map", "multimap"};
 
 // ---------------------------------------------------------------------------
 // Suppression directives (parsed from the RAW text, comments included)
@@ -410,6 +426,7 @@ class Scanner {
     catch_pass();
     isolation_pass();
     handler_mutation_pass();
+    hot_path_container_pass();
     std::sort(findings_.begin(), findings_.end(), [](const Finding& a, const Finding& b) {
       return a.line != b.line ? a.line < b.line : a.rule < b.rule;
     });
@@ -942,6 +959,29 @@ class Scanner {
                "(sim::kMetaCell / kCounterCell / kDataCell) — it defaults to "
                "the packed data arena, where construction adjacency can put it "
                "on the same virtual line as unrelated hot cells");
+    }
+  }
+
+  // ---- hot-path-container pass ----
+
+  /// In the data-path headers (kHotPathHeaders, matched by file basename),
+  /// flags any `std::<node container>` type use.  Token-level: `std` `::`
+  /// followed by a forbidden identifier.  `#include <set>` lines are not
+  /// tokens that match this shape (no `std ::` prefix), so includes pulled in
+  /// for unrelated reasons do not fire; actual declarations do.
+  void hot_path_container_pass() {
+    const std::size_t slash = path_.find_last_of('/');
+    const std::string base = slash == std::string::npos ? path_ : path_.substr(slash + 1);
+    if (kHotPathHeaders.count(base) == 0) return;
+    for (std::size_t i = 0; i + 2 < toks_.size(); ++i) {
+      if (toks_[i].text != "std" || toks_[i].kind != Token::Kind::kIdent) continue;
+      if (!is(i + 1, "::")) continue;
+      if (!is_ident(i + 2) || kNodeContainers.count(toks_[i + 2].text) == 0) continue;
+      emit(kHotPathContainer, toks_[i].line,
+           "std::" + std::string(toks_[i + 2].text) + " in hot-path header " + base +
+               " — the TM data path must use the flat SIMD-probeable structures "
+               "(sim::FlatMap, sim::CpuMask, flat arrays), not node-based "
+               "standard containers");
     }
   }
 
