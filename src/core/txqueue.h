@@ -13,7 +13,13 @@
 //    nesting alone suffers from, per Kulkarni et al.);
 //  * the only semantic conflict (Table 7): observing EMPTINESS via
 //    peek()/poll() returning nothing takes an empty lock, and a committing
-//    put() that makes the queue non-empty violates those observers.
+//    put() that makes the queue non-empty violates those observers;
+//  * size() observes the exact element count and takes a size lock (the
+//    sizeLockers pattern of Table 3 applied to the queue): any committed
+//    put, any eager take/poll removal, and any abort-time put-back changes
+//    the count and violates every other size observer.  Workers that only
+//    need "is there work?" should use take()/try_dequeue(), which observe
+//    nothing and therefore conflict with nothing.
 //
 // Because strict FIFO order is not maintained across transactions, put/take
 // pairs never conflict with each other (Table 7's blank cells).
@@ -42,6 +48,7 @@ class TransactionalQueue : public jstd::Channel<T> {
       const std::string n =
           trace_name != nullptr ? trace_name : "TransactionalQueue";
       rt->trace_name_table(&empty_lockers_, (n + ".emptyLockers").c_str());
+      rt->trace_name_table(&size_lockers_, (n + ".sizeLockers").c_str());
     }
   }
 
@@ -73,7 +80,7 @@ class TransactionalQueue : public jstd::Channel<T> {
     LocalState& ls = local();
     ensure_registered(ls);
     charge_sem_op();
-    auto got = atomos::open_atomically([&] { return inner_->poll(); });
+    auto got = atomos::open_atomically([&] { return eager_remove(ls); });
     if (got.has_value()) {
       ls.remove_buffer.push_back(*got);
       return got;
@@ -102,7 +109,7 @@ class TransactionalQueue : public jstd::Channel<T> {
     LocalState& ls = local();
     ensure_registered(ls);
     charge_sem_op();
-    auto got = atomos::open_atomically([&] { return inner_->poll(); });
+    auto got = atomos::open_atomically([&] { return eager_remove(ls); });
     if (got.has_value()) {
       ls.remove_buffer.push_back(*got);
       return got;
@@ -113,6 +120,34 @@ class TransactionalQueue : public jstd::Channel<T> {
       return item;
     }
     return std::nullopt;
+  }
+
+  /// Worker-loop alias for take(): the non-blocking dequeue a request-serving
+  /// loop wants.  A nullopt means "nothing right now, retry later" and is
+  /// NOT a serializable emptiness observation (Table 7: put/take commute).
+  std::optional<T> try_dequeue() { return take(); }
+
+  /// Observes the exact element count (own pending puts included, eagerly
+  /// taken elements excluded — they are already gone from the shared queue).
+  /// The observation takes a size lock: committed puts, other transactions'
+  /// eager removals and abort-time put-backs all change the count and
+  /// violate us.  This is the paper's sizeLockers rule (Table 3) applied to
+  /// the queue; prefer take()/try_dequeue() when emptiness-for-retry is all
+  /// the caller needs.
+  long size() const {
+    if (!transactional()) return inner_->size();
+    if (!in_txn())
+      return atomos::Runtime::current().atomically([&] { return size(); });
+    LocalState& ls = local();
+    ensure_registered(ls);
+    charge_sem_op();
+    const long shared = atomos::open_atomically([&] {
+      charge_sem_op();
+      size_lockers_.add(ls.id);
+      ls.size_locked = true;
+      return inner_->size();
+    });
+    return shared + static_cast<long>(ls.add_buffer.size());
   }
 
   /// Observes the head without removing it; observing emptiness takes the
@@ -138,6 +173,7 @@ class TransactionalQueue : public jstd::Channel<T> {
   // ---- introspection (tests) ----
   const jstd::Queue<T>& inner() const { return *inner_; }
   std::size_t empty_locker_count() const { return empty_lockers_.size(); }
+  std::size_t size_locker_count() const { return size_lockers_.size(); }
 
  protected:
   // Subclassable (protected state, virtual handlers) so litmus mutants —
@@ -147,6 +183,7 @@ class TransactionalQueue : public jstd::Channel<T> {
     atomos::TxnId id{};
     bool registered = false;
     bool empty_locked = false;
+    bool size_locked = false;
     std::deque<T> add_buffer;     // Table 9: addBuffer
     std::vector<T> remove_buffer; // Table 9: removeBuffer
 
@@ -155,6 +192,7 @@ class TransactionalQueue : public jstd::Channel<T> {
       remove_buffer.clear();
       registered = false;
       empty_locked = false;
+      size_locked = false;
       id = atomos::TxnId{};
     }
   };
@@ -181,6 +219,19 @@ class TransactionalQueue : public jstd::Channel<T> {
     return ls;
   }
 
+  /// Inner-queue removal, run inside an open-nested child.  A successful
+  /// removal changes the observable element count immediately (reduced
+  /// isolation), so every OTHER size observer is violated on the spot —
+  /// unlike puts, whose size effect only exists at commit.
+  std::optional<T> eager_remove(LocalState& ls) const {
+    auto got = inner_->poll();
+    if (got.has_value() && !size_lockers_.empty()) {
+      charge_sem_op();
+      size_lockers_.violate_all_except(ls.id);
+    }
+    return got;
+  }
+
   void ensure_registered(LocalState& ls) const {
     if (ls.registered) return;
     ls.registered = true;
@@ -196,12 +247,14 @@ class TransactionalQueue : public jstd::Channel<T> {
   }
 
   /// Applies the addBuffer; a producer making an empty queue non-empty
-  /// violates every emptiness observer (Table 8: put "if now non-empty").
+  /// violates every emptiness observer (Table 8: put "if now non-empty"),
+  /// and any applied put changes the count, violating size observers.
   virtual void commit_handler(int cpu) {
     LocalState& ls = locals_[static_cast<std::size_t>(cpu)];
     charge_sem_op(ls.add_buffer.size() + 1);
     if (!ls.add_buffer.empty()) {
       if (inner_->is_empty()) empty_lockers_.violate_all_except(ls.id);
+      size_lockers_.violate_all_except(ls.id);
       for (const T& item : ls.add_buffer) inner_->put(item);
     }
     release_and_clear(ls);
@@ -219,6 +272,7 @@ class TransactionalQueue : public jstd::Channel<T> {
         const bool was_empty = inner_->is_empty();
         for (const T& item : ls.remove_buffer) inner_->put(item);
         if (was_empty) empty_lockers_.violate_all_except(ls.id);
+        size_lockers_.violate_all_except(ls.id);  // the count changed back
       });
     }
     release_and_clear(ls);
@@ -226,11 +280,13 @@ class TransactionalQueue : public jstd::Channel<T> {
 
   void release_and_clear(LocalState& ls) {
     if (ls.empty_locked) empty_lockers_.remove(ls.id);
+    if (ls.size_locked) size_lockers_.remove(ls.id);
     ls.clear();
   }
 
   std::unique_ptr<jstd::Queue<T>> inner_;
   mutable LockerSet empty_lockers_;
+  mutable LockerSet size_lockers_;
   mutable std::vector<LocalState> locals_;
 };
 

@@ -154,10 +154,32 @@ void run_pool(std::size_t n, int jobs, const std::function<void(std::size_t)>& b
   for (std::thread& th : pool) th.join();
 }
 
+// Integral extras (latency percentiles in cycles, counts) print as plain
+// integers; genuine fractions use the stream's default 6-significant-digit
+// form, same as the speedup column.  Both are deterministic functions of the
+// value, which the byte-identity guarantee needs.
+void put_extra(std::ofstream& csv, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 9.0e15 && v > -9.0e15) {
+    csv << static_cast<long long>(v);
+  } else {
+    csv << v;
+  }
+}
+
 void write_figure_csv(const std::string& path, const FigureResult& fr, int trials) {
   std::ofstream csv(path);
   if (!csv) throw std::runtime_error("run_figure_driver: cannot open " + path);
+  // Figures with per-point extras gain those columns after `commits`; the
+  // names come from the first surviving result and every row must agree
+  // (otherwise the figure binary has a bug worth failing loudly on).
+  const std::vector<std::pair<std::string, double>>* extras_shape =
+      !fr.results.empty() && !fr.results.front().extras.empty()
+          ? &fr.results.front().extras
+          : nullptr;
   csv << "series,cpus,cycles,speedup,violations,semantic,lost_cycles,commits";
+  if (extras_shape != nullptr) {
+    for (const auto& [name, value] : *extras_shape) csv << ',' << name;
+  }
   if (trials > 1) csv << ",cycles_mean,cycles_min,cycles_max";
   csv << '\n';
   for (std::size_t i = 0; i < fr.results.size(); ++i) {
@@ -165,6 +187,18 @@ void write_figure_csv(const std::string& path, const FigureResult& fr, int trial
     csv << r.series << ',' << r.cpus << ',' << r.cycles << ',' << r.speedup << ','
         << r.violations << ',' << r.semantic << ',' << r.lost_cycles << ','
         << r.commits;
+    if (extras_shape != nullptr) {
+      if (r.extras.size() != extras_shape->size())
+        throw std::runtime_error("run_figure_driver: inconsistent extras columns in '" +
+                                 r.series + "'");
+      for (std::size_t e = 0; e < r.extras.size(); ++e) {
+        if (r.extras[e].first != (*extras_shape)[e].first)
+          throw std::runtime_error("run_figure_driver: inconsistent extras columns in '" +
+                                   r.series + "'");
+        csv << ',';
+        put_extra(csv, r.extras[e].second);
+      }
+    }
     if (trials > 1) {
       const TrialStats& ts = fr.trial_stats[i];
       csv << ',' << ts.cycles_mean << ',' << ts.cycles_min << ',' << ts.cycles_max;

@@ -1,0 +1,101 @@
+// Fixed-bucket log-scale latency histogram for open-system workloads.
+//
+// Sojourn times (arrival -> commit, in simulated cycles) span four-plus
+// decades once a series saturates, so the buckets are log2-spaced with 8
+// sub-buckets per octave (HdrHistogram's layout): values below 16 are exact,
+// larger values land in a bucket whose width is 1/8 of its base octave, so a
+// reported quantile is at most 12.5% below the true value.  Everything is
+// integer arithmetic — recording, merging and quantile extraction are
+// bit-deterministic across hosts, which the figure CSVs require.
+//
+// Histograms are plain mergeable value types: the driver runs every sweep
+// point in a shard-local histogram and merges per-CPU (and, for trials,
+// per-shard) histograms with operator+= — merge order does not matter.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace harness {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kLinear = 16;      // values 0..15 recorded exactly
+  static constexpr int kSubBuckets = 8;   // per-octave resolution above that
+  static constexpr int kBuckets = kLinear + (63 - 4 + 1) * kSubBuckets;  // 496
+
+  void record(std::uint64_t v) {
+    ++counts_[index(v)];
+    ++total_;
+    if (v > max_) max_ = v;
+  }
+
+  /// Elementwise merge; order-independent by construction.
+  LatencyHistogram& operator+=(const LatencyHistogram& other) {
+    for (int i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    if (other.max_ > max_) max_ = other.max_;
+    return *this;
+  }
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t max() const { return max_; }
+
+  /// The value at quantile `q` in [0, 1]: the lower bound of the first
+  /// bucket whose cumulative count reaches q * count().  Returns the exact
+  /// maximum for q past the last recorded sample, 0 for an empty histogram.
+  std::uint64_t quantile(double q) const {
+    if (total_ == 0) return 0;
+    const double target = q * static_cast<double>(total_);
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      cum += counts_[i];
+      if (counts_[i] != 0 && static_cast<double>(cum) >= target) {
+        // The top occupied bucket's lower bound may undershoot the true
+        // maximum; the exact max is tracked, so report it instead.
+        return cum == total_ && i == top_bucket() ? std::min(max_, upper_bound(i))
+                                                  : lower_bound(i);
+      }
+    }
+    return max_;
+  }
+
+  std::uint64_t bucket_count(int i) const { return counts_[static_cast<std::size_t>(i)]; }
+
+  static int index(std::uint64_t v) {
+    if (v < kLinear) return static_cast<int>(v);
+    const int n = std::bit_width(v) - 1;  // position of the MSB, >= 4
+    const int sub = static_cast<int>((v >> (n - 3)) & (kSubBuckets - 1));
+    return kLinear + (n - 4) * kSubBuckets + sub;
+  }
+
+  static std::uint64_t lower_bound(int i) {
+    if (i < kLinear) return static_cast<std::uint64_t>(i);
+    const int n = 4 + (i - kLinear) / kSubBuckets;
+    const int sub = (i - kLinear) % kSubBuckets;
+    return (std::uint64_t{1} << n) |
+           (static_cast<std::uint64_t>(sub) << (n - 3));
+  }
+
+ private:
+  static std::uint64_t upper_bound(int i) {
+    if (i < kLinear) return static_cast<std::uint64_t>(i);
+    const int n = 4 + (i - kLinear) / kSubBuckets;
+    return lower_bound(i) + (std::uint64_t{1} << (n - 3)) - 1;
+  }
+
+  int top_bucket() const {
+    for (int i = kBuckets - 1; i >= 0; --i) {
+      if (counts_[i] != 0) return i;
+    }
+    return -1;
+  }
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace harness

@@ -25,6 +25,13 @@ struct RunResult {
   std::uint64_t commits = 0;
   double speedup = 0.0;              ///< vs the figure's 1-CPU baseline
 
+  /// Optional figure-specific columns appended to the CSV (open-system
+  /// workloads report offered load, throughput and latency percentiles this
+  /// way).  Every result of a figure must carry the same names in the same
+  /// order; figures that leave this empty emit the classic 8-column CSV
+  /// byte-for-byte, so the existing goldens are unaffected.
+  std::vector<std::pair<std::string, double>> extras;
+
   /// Field-for-field equality — the harness determinism tests assert that a
   /// serial sweep and a `--jobs N` sweep produce identical vectors.
   friend bool operator==(const RunResult&, const RunResult&) = default;

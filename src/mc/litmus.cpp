@@ -399,6 +399,104 @@ std::unique_ptr<World> build_mut_lossy_queue(Oracle& o) {
   return w;
 }
 
+// ---- srv programs: the server handler-loop shape (see src/srv) ----
+// One transaction = take a request from the work queue, then a session RMW.
+
+/// Grafts a queue onto a map world (the build_compound wiring).
+void add_queue(World& w, Oracle& o,
+               std::unique_ptr<tcc::TransactionalQueue<long>> queue,
+               std::vector<long> initial) {
+  w.queue = std::move(queue);
+  for (const long v : initial) w.queue->put(v);
+  o.register_queue(w.queue.get(), "queue", std::move(initial));
+  w.rqueue.emplace(&o, w.queue.get());
+  World* wp = &w;
+  Oracle* op = &o;
+  auto base_finish = std::move(w.finish);
+  w.finish = [op, wp, base_finish] {
+    base_finish();
+    op->set_final_queue(wp->queue.get(), drain_queue(*wp->queue));
+  };
+}
+
+std::unique_ptr<World> build_srv_handler(Oracle& o) {
+  // Two workers drain a two-request queue and apply each request's delta to
+  // the SAME session: take (no emptiness observation) + keyed RMW.  Every
+  // interleaving must serialize — the session ends at 10 + 501 + 502 with
+  // both requests consumed exactly once.
+  auto w = with_map(o, plain_map(), {{1, 10}});
+  add_queue(*w, o, plain_queue(), {501, 502});
+  World* wp = w.get();
+  Oracle* op = &o;
+  auto worker = [op, wp] {
+    mc_txn(*op, [&] {
+      const auto req = wp->rqueue->take();
+      atomos::work(140);
+      if (req.has_value()) {
+        const long bal = wp->rmap->get(1).value_or(0);
+        wp->rmap->put(1, bal + *req);
+      }
+    });
+  };
+  w->bodies = {worker, worker};
+  return w;
+}
+
+std::unique_ptr<World> build_mut_srv_lost_update(Oracle& o) {
+  // The same handler shape over a map whose put skips the key read-lock:
+  // two concurrent handlers read the same balance and one deposit is lost.
+  auto w = with_map(o, std::make_unique<NoLockPutMap>(
+                           std::make_unique<jstd::HashMap<long, long>>(16)),
+                    {{1, 10}});
+  add_queue(*w, o, plain_queue(), {501, 502});
+  World* wp = w.get();
+  Oracle* op = &o;
+  auto worker = [op, wp](std::uint64_t think) {
+    return [op, wp, think] {
+      mc_txn(*op, [&] {
+        const auto req = wp->rqueue->take();
+        // Deposit first, then post-process: the un-committed RMW is exposed
+        // for the whole think time, so handlers overlap on the session.
+        if (req.has_value()) wp->rmap->put(1, 1000 + *req);
+        atomos::work(think);
+      });
+    };
+  };
+  w->bodies = {worker(300), worker(120)};
+  return w;
+}
+
+std::unique_ptr<World> build_mut_srv_lossy_handler(Oracle& o) {
+  // A handler aborted mid-flight (memory conflict on the cell) must hand
+  // its request back to the queue; the LossyQueue's broken compensation
+  // drops it instead, violating request conservation.
+  auto w = with_map(o, plain_map(), {});
+  add_queue(*w, o,
+            std::make_unique<LossyQueue>(
+                std::make_unique<jstd::LinkedQueue<long>>()),
+            {601, 602});
+  w->cell.emplace(0L);
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->bodies = {
+      [op, wp] {
+        mc_txn(*op, [&] {
+          const auto req = wp->rqueue->poll();
+          (void)wp->cell->get();  // cpu1's committed write aborts us mid-handler
+          atomos::work(250);
+          if (req.has_value()) wp->rmap->put(*req, 1);
+        });
+      },
+      [op, wp] {
+        mc_txn(*op, [&] {
+          atomos::work(60);
+          wp->cell->set(9);
+        });
+      },
+  };
+  return w;
+}
+
 std::unique_ptr<World> build_mut_double_release(Oracle& o) {
   auto w = with_map(o, std::make_unique<DoubleReleaseMap>(
                            std::make_unique<jstd::HashMap<long, long>>(16)),
@@ -463,6 +561,8 @@ const std::vector<Entry>& registry() {
     clean("compound", "one transaction spanning a map and a queue", build_compound);
     clean("map_conflict", "memory conflict forces an abort + compensation",
           build_map_conflict);
+    clean("srv_handler", "server handlers: take a request, session RMW",
+          build_srv_handler);
     mutant("mut_lost_lock", "get() without the key lock",
            Anomaly::kLostSemanticLock, build_mut_lost_lock);
     mutant("mut_open_leak", "open-nested eager put leaks pre-commit state",
@@ -475,6 +575,10 @@ const std::vector<Entry>& registry() {
            Anomaly::kDoubleRelease, build_mut_double_release);
     mutant("mut_lock_leak", "abort handler forgets to release locks",
            Anomaly::kLockLeak, build_mut_lock_leak);
+    mutant("mut_srv_lost_update", "handler session RMW without the key lock",
+           Anomaly::kLostUpdate, build_mut_srv_lost_update);
+    mutant("mut_srv_lossy_handler", "aborted handler loses its taken request",
+           Anomaly::kCompensationInversion, build_mut_srv_lossy_handler);
     return e;
   }();
   return entries;

@@ -161,6 +161,106 @@ TEST(Table7Queue, TakeOnEmptyVsPut_NoConflictByDesign) {
   EXPECT_FALSE(r.conflicted());
 }
 
+// ---- size() / try_dequeue(): the worker-loop probe API ----
+
+TEST(TxQueueSize, ReadYourWritesAndPassthrough) {
+  Fixture f;
+  f.preload(2);
+  EXPECT_EQ(f.q.size(), 2);  // non-transactional passthrough
+  f.eng.spawn([&] {
+    atomos::atomically([&] {
+      f.q.put(10);
+      f.q.put(11);
+      EXPECT_EQ(f.q.size(), 4);  // 2 shared + 2 own buffered puts
+      EXPECT_EQ(f.q.take(), 1);
+      EXPECT_EQ(f.q.size(), 3);  // eager removal already visible
+    });
+  });
+  f.eng.run();
+  EXPECT_EQ(f.q.size(), 3);
+}
+
+TEST(TxQueueSize, SizeVsCommittedPut_Conflicts) {
+  // A committed put changes the count: size observers must be violated
+  // (the sizeLockers rule of Table 3, applied to the queue).
+  Fixture f;
+  f.preload(2);  // non-empty, so no emptiness lock is involved
+  auto r = run_schedule(
+      f.eng, [&] { EXPECT_GE(f.q.size(), 2); },
+      [&] { f.q.put(3); });
+  EXPECT_TRUE(r.conflicted());
+}
+
+TEST(TxQueueSize, SizeVsOthersEagerTake_Conflicts) {
+  // Another transaction's take() removes eagerly — the observed count is
+  // stale the moment the removal happens, not at the taker's commit.
+  Fixture f;
+  f.preload(4);
+  auto r = run_schedule(
+      f.eng, [&] { EXPECT_GE(f.q.size(), 3); },
+      [&] { (void)f.q.take(); });
+  EXPECT_TRUE(r.conflicted());
+}
+
+TEST(TxQueueSize, SizeVsSize_Commutes) {
+  // Two observers of the same count never invalidate each other.
+  Fixture f;
+  f.preload(2);
+  auto r = run_schedule(
+      f.eng, [&] { EXPECT_EQ(f.q.size(), 2); },
+      [&] { EXPECT_EQ(f.q.size(), 2); });
+  EXPECT_FALSE(r.conflicted());
+}
+
+TEST(TxQueueSize, TryDequeueVsPut_Commutes) {
+  // try_dequeue() is take(): a worker probing for work observes nothing,
+  // so producers never violate it (the srv handler-loop fast path).
+  Fixture f;
+  auto r = run_schedule(
+      f.eng, [&] { EXPECT_EQ(f.q.try_dequeue(), std::nullopt); },
+      [&] { f.q.put(1); });
+  EXPECT_FALSE(r.conflicted());
+}
+
+TEST(TxQueueSize, AbortPutBackViolatesSizeObservers) {
+  // CPU0 takes an element then aborts; the compensation put-back changes
+  // the count again and must doom a concurrent size observer whose read
+  // landed between the eager removal and the abort.
+  Fixture f;
+  f.preload(3);
+  sim::Engine& eng = f.eng;
+  eng.spawn([&] {
+    try {
+      atomos::atomically([&] {
+        (void)f.q.take();        // count 3 -> 2, eagerly
+        atomos::work(4000);
+        throw std::runtime_error("abort");  // put-back: count 2 -> 3
+      });
+    } catch (const std::runtime_error&) {
+    }
+  });
+  eng.spawn([&] {
+    atomos::work(1000);  // start after the take, finish after the put-back
+    atomos::atomically([&] {
+      (void)f.q.size();
+      atomos::work(8000);
+    });
+  });
+  eng.run();
+  EXPECT_GE(eng.stats().total(&sim::CpuStats::semantic_violations), 1u);
+  EXPECT_EQ(f.q.size(), 3);  // compensation restored every element
+}
+
+TEST(TxQueueSize, SizeLockReleasedAfterCommit) {
+  Fixture f;
+  f.preload(1);
+  f.eng.spawn([&] {
+    atomos::atomically([&] { (void)f.q.size(); });
+    EXPECT_EQ(f.q.size_locker_count(), 0u);  // dropped at commit
+  });
+  f.eng.run();
+}
+
 TEST(Table7Queue, DelaunayWorkQueuePattern) {
   // The motivating use: workers drain a queue, each item may spawn new
   // items; some transactions abort (simulated via a poisoned item value) —

@@ -1,0 +1,112 @@
+// LatencyHistogram: bucket layout, quantile error bound, mergeability.
+#include "harness/latency.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using harness::LatencyHistogram;
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 16u);
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(LatencyHistogram::index(v), static_cast<int>(v));
+    EXPECT_EQ(LatencyHistogram::lower_bound(static_cast<int>(v)), v);
+  }
+}
+
+TEST(LatencyHistogram, IndexIsMonotoneAndInRange) {
+  int prev = -1;
+  for (std::uint64_t v = 0; v < (1u << 20); v += 97) {
+    const int i = LatencyHistogram::index(v);
+    ASSERT_GE(i, prev);  // non-decreasing in v
+    ASSERT_LT(i, LatencyHistogram::kBuckets);
+    ASSERT_LE(LatencyHistogram::lower_bound(i), v);
+    prev = i;
+  }
+  // The largest representable value still lands in the table.
+  ASSERT_LT(LatencyHistogram::index(~std::uint64_t{0}), LatencyHistogram::kBuckets);
+}
+
+TEST(LatencyHistogram, QuantileUndershootsByAtMostOneEighth) {
+  // With a single recorded value, any quantile reports that value's bucket
+  // lower bound — which must sit within 12.5% below the true value.
+  for (std::uint64_t v : {17u, 100u, 1000u, 4097u, 65535u, 1000000u}) {
+    LatencyHistogram h;
+    h.record(v);
+    const std::uint64_t q = h.quantile(0.5);
+    EXPECT_LE(q, v);
+    EXPECT_GE(8 * q, 7 * v) << "v=" << v;  // q >= v * (1 - 1/8)
+  }
+}
+
+TEST(LatencyHistogram, TopBucketReportsExactMax) {
+  LatencyHistogram h;
+  h.record(100);
+  h.record(12345);
+  EXPECT_EQ(h.max(), 12345u);
+  // The last occupied bucket is reported as the tracked maximum, not the
+  // bucket's (coarser) lower bound.
+  EXPECT_EQ(h.quantile(1.0), 12345u);
+  EXPECT_EQ(h.quantile(0.999), 12345u);
+}
+
+TEST(LatencyHistogram, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(LatencyHistogram, MergeMatchesSequentialRecording) {
+  LatencyHistogram all, odd, even;
+  std::uint64_t x = 1;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 2862933555777941757ULL + 3037000493ULL;
+    const std::uint64_t v = x >> 40;
+    all.record(v);
+    (i % 2 != 0 ? odd : even).record(v);
+  }
+  LatencyHistogram merged = even;
+  merged += odd;
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_EQ(merged.max(), all.max());
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i)
+    ASSERT_EQ(merged.bucket_count(i), all.bucket_count(i)) << "bucket " << i;
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999})
+    EXPECT_EQ(merged.quantile(q), all.quantile(q)) << "q=" << q;
+}
+
+TEST(LatencyHistogram, MergeIsOrderIndependent) {
+  LatencyHistogram a, b;
+  for (std::uint64_t v = 0; v < 2000; v += 3) a.record(v * v % 100000);
+  for (std::uint64_t v = 1; v < 2000; v += 3) b.record(v * v % 90000);
+  LatencyHistogram ab = a, ba = b;
+  ab += b;
+  ba += a;
+  EXPECT_EQ(ab.count(), ba.count());
+  for (double q : {0.25, 0.5, 0.75, 0.99}) EXPECT_EQ(ab.quantile(q), ba.quantile(q));
+}
+
+TEST(LatencyHistogram, QuantilesOfUniformRampAreOrdered) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 100000; ++v) h.record(v);
+  const std::uint64_t p50 = h.quantile(0.5);
+  const std::uint64_t p99 = h.quantile(0.99);
+  const std::uint64_t p999 = h.quantile(0.999);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  // And each sits within the 12.5% undershoot bound of the true quantile.
+  EXPECT_GE(8 * p50, 7 * 50000u);
+  EXPECT_LE(p50, 50000u);
+  // p99's target lands in the top occupied bucket, where the histogram
+  // reports the exact tracked maximum rather than a bucket bound.
+  EXPECT_GE(8 * p99, 7 * 99000u);
+  EXPECT_LE(p99, 99999u);
+}
+
+}  // namespace

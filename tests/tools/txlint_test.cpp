@@ -30,15 +30,15 @@ bool fires_at(const std::vector<Finding>& fs, std::string_view rule, int line) {
                      [&](const Finding& f) { return f.rule == rule && f.line == line; });
 }
 
-TEST(TxlintRules, NineRulesRegistered) {
+TEST(TxlintRules, TenRulesRegistered) {
   const auto& rs = rules();
-  ASSERT_EQ(rs.size(), 9u);
+  ASSERT_EQ(rs.size(), 10u);
   std::vector<std::string_view> names;
   for (const auto& r : rs) names.push_back(r.name);
   for (const char* want : {"shared-field", "raw-peek", "catch-swallow",
                            "unpaired-handler", "shared-value-capture",
                            "trace-hook", "isolation-class", "handler-mutation",
-                           "hot-path-container"}) {
+                           "hot-path-container", "handler-closure"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), want), names.end()) << want;
   }
 }
@@ -191,6 +191,41 @@ TEST(SharedCaptureRule, AllowsReferenceCaptures) {
       "  (void)a; (void)b; (void)c;\n"
       "}\n";
   EXPECT_TRUE(of_rule(scan(src), "shared-value-capture").empty());
+}
+
+// ---- handler-closure ----
+
+TEST(HandlerClosureRule, FlagsStaleSnapshotsCapturedIntoTransactionBodies) {
+  const std::string src =
+      "void handler(Map& sessions, Queue& q) {\n"            // 1
+      "  auto bal = sessions.get(7);\n"                      // 2  snapshot
+      "  auto req = q.try_dequeue();\n"                      // 3  snapshot
+      "  atomos::atomically([bal] {\n"                       // 4  <- named copy
+      "    use(bal);\n"                                      // 5
+      "  });\n"                                              // 6
+      "  atomos::atomically([r = req] { use(r); });\n"       // 7  <- init-capture
+      "  atomos::open_atomically([=] { return bal; });\n"    // 8  <- [=] uses bal
+      "}\n";
+  const auto fs = scan(src);
+  const auto hc = of_rule(fs, "handler-closure");
+  EXPECT_EQ(hc.size(), 3u);
+  EXPECT_TRUE(fires_at(fs, "handler-closure", 4));
+  EXPECT_TRUE(fires_at(fs, "handler-closure", 7));
+  EXPECT_TRUE(fires_at(fs, "handler-closure", 8));
+}
+
+TEST(HandlerClosureRule, AllowsByRefBodiesAndNonTransactionalLambdas) {
+  const std::string src =
+      "void handler(Map& sessions, Queue& q) {\n"
+      "  auto bal = sessions.get(7);\n"
+      "  atomos::atomically([&] { use(sessions.get(7)); });\n"  // re-reads inside
+      "  atomos::atomically([&bal] { use(bal); });\n"           // by reference
+      "  auto log_it = [bal] { print(bal); };\n"   // plain lambda: snapshot fine
+      "  log_it();\n"
+      "  int plain = 3;\n"
+      "  atomos::atomically([plain] { use(plain); });\n"  // not a collection read
+      "}\n";
+  EXPECT_TRUE(of_rule(scan(src), "handler-closure").empty());
 }
 
 // ---- trace-hook ----

@@ -1,0 +1,38 @@
+// BAD: server-handler lambdas that capture a collection snapshot by value
+// into a transaction body.  The snapshot was read OUTSIDE the transaction,
+// so it is not in the read set: when the transaction is violated and
+// replayed, the body re-runs with the stale value instead of re-reading.
+#include "core/txmap.h"
+#include "core/txqueue.h"
+
+namespace demo {
+
+void stale_session_balance(tcc::TransactionalMap<long, long>& sessions) {
+  auto bal = sessions.get(7);  // snapshot read outside any transaction
+  atomos::atomically([bal] {   // BAD: replay reuses the stale balance
+    sessions_put(7, bal.value_or(0) + 1);
+  });
+}
+
+void stale_init_capture(tcc::TransactionalQueue<long>& q) {
+  auto req = q.try_dequeue();
+  atomos::atomically([r = req] {  // BAD: init-capture copies the snapshot
+    if (r.has_value()) handle(*r);
+  });
+}
+
+void stale_default_copy(tcc::TransactionalMap<long, long>& cache) {
+  auto hit = cache.get(3);
+  atomos::open_atomically([=] {  // BAD: [=] copies `hit` into the body
+    return hit.value_or(0);
+  });
+}
+
+void reread_inside_is_fine(tcc::TransactionalMap<long, long>& sessions) {
+  atomos::atomically([&] {  // ok: the get() happens inside the transaction
+    auto bal = sessions.get(7);
+    sessions_put(7, bal.value_or(0) + 1);
+  });
+}
+
+}  // namespace demo

@@ -1,0 +1,42 @@
+// GOOD: the srv handler-loop discipline.  Transaction bodies capture by
+// reference and re-read every collection inside the body, so a violated
+// transaction replays against fresh state; snapshots copied into plain
+// (non-transactional) lambdas are fine — nothing replays them.
+#include "core/txmap.h"
+#include "core/txqueue.h"
+
+namespace demo {
+
+void handler_loop(tcc::TransactionalQueue<long>& work,
+                  tcc::TransactionalMap<long, long>& sessions) {
+  for (;;) {
+    bool idle = false;
+    atomos::atomically([&] {
+      auto req = work.try_dequeue();  // read inside: part of the replay
+      if (!req.has_value()) {
+        idle = true;
+        return;
+      }
+      auto bal = sessions.get(*req);
+      sessions.put(*req, bal.value_or(0) + 1);
+    });
+    if (idle) break;
+  }
+}
+
+void explicit_by_ref_capture(tcc::TransactionalMap<long, long>& sessions) {
+  auto bal = sessions.get(7);  // pre-read is fine if the body re-reads
+  atomos::atomically([&sessions] {
+    auto fresh = sessions.get(7);
+    sessions.put(7, fresh.value_or(0) + 1);
+  });
+  report(bal);  // the snapshot only feeds non-transactional logging
+}
+
+void plain_lambda_snapshot(tcc::TransactionalMap<long, long>& cache) {
+  auto hit = cache.get(3);
+  auto log_it = [hit] { print_metric(hit.value_or(0)); };  // no replay: ok
+  log_it();
+}
+
+}  // namespace demo

@@ -23,6 +23,7 @@ constexpr std::string_view kTraceHook = "trace-hook";
 constexpr std::string_view kIsolationClass = "isolation-class";
 constexpr std::string_view kHandlerMutation = "handler-mutation";
 constexpr std::string_view kHotPathContainer = "hot-path-container";
+constexpr std::string_view kHandlerClosure = "handler-closure";
 
 const std::vector<RuleInfo> kRules = {
     {kSharedField,
@@ -57,7 +58,17 @@ const std::vector<RuleInfo> kRules = {
      "hot-path header (flat_map.h, reader_dir.h, cpu_mask.h) — these headers "
      "are the per-access data path and must stay on flat, SIMD-probeable "
      "layouts"},
+    {kHandlerClosure,
+     "transaction-body lambda (atomically/open_atomically argument) captures "
+     "by value a local holding a shared-collection read (get/poll/take/peek) "
+     "— the snapshot is outside the read set, so a violated transaction "
+     "replays with stale data instead of re-reading"},
 };
+
+// Collection observer methods whose result, captured by copy into a later
+// transaction body, is a stale snapshot (the handler-closure rule).
+const std::unordered_set<std::string_view> kCollectionReads = {
+    "get", "poll", "take", "peek", "try_dequeue"};
 
 // Headers on the per-access TM data path: every tm_read/tm_write and every
 // commit broadcast goes through these.  A node-based standard container here
@@ -440,6 +451,8 @@ class Scanner {
     std::string name;
     // Function frames only:
     std::unordered_set<std::string> shared_locals;
+    // Locals assigned from a shared-collection read (handler-closure).
+    std::unordered_set<std::string> collection_locals;
     int commit_line = -1, top_commit_line = -1;
     bool has_abort = false, has_top_abort = false;
     // Class frames only: token index where the current member stmt begins.
@@ -494,6 +507,13 @@ class Scanner {
   bool shared_local_visible(std::string_view name) const {
     for (const auto& f : stack_) {
       if (f.shared_locals.count(std::string(name)) != 0) return true;
+    }
+    return false;
+  }
+
+  bool collection_local_visible(std::string_view name) const {
+    for (const auto& f : stack_) {
+      if (f.collection_locals.count(std::string(name)) != 0) return true;
     }
     return false;
   }
@@ -746,6 +766,25 @@ class Scanner {
       }
     }
 
+    // `x = <expr involving .get(/->poll(/...>`: x now holds a snapshot of a
+    // shared collection's state.  Recorded so lambda_check can flag a later
+    // transaction body capturing the snapshot by value (handler-closure).
+    if (is(i + 1, "=") &&
+        (i == 0 || (toks_[i - 1].text != "." && toks_[i - 1].text != "->"))) {
+      Frame* fn = nearest_function();
+      if (fn != nullptr) {
+        const std::size_t limit = std::min(toks_.size(), i + 60);
+        for (std::size_t j = i + 2; j < limit && !is(j, ";"); ++j) {
+          if ((toks_[j].text == "." || toks_[j].text == "->") &&
+              is_ident(j + 1) && kCollectionReads.count(toks_[j + 1].text) != 0 &&
+              is(j + 2, "(")) {
+            fn->collection_locals.insert(std::string(id));
+            break;
+          }
+        }
+      }
+    }
+
     if (id == "Shared" && is(i + 1, "<") && !stack_.empty() &&
         stack_.back().kind != Frame::Kind::kClass &&
         stack_.back().kind != Frame::Kind::kNamespace) {
@@ -830,8 +869,16 @@ class Scanner {
     const std::size_t close = match(i);
     if (close >= toks_.size()) return;
 
+    // A lambda passed directly to atomically()/open_atomically() is a
+    // transaction body: retries re-run it, so by-value captures of
+    // collection snapshots replay stale observations (handler-closure).
+    const bool tx_body =
+        i >= 2 && is(i - 1, "(") &&
+        (toks_[i - 2].text == "atomically" || toks_[i - 2].text == "open_atomically");
+
     bool default_copy = false;
     std::vector<std::pair<std::string_view, int>> value_captures;  // (name, line)
+    std::vector<std::pair<std::string_view, int>> stale_captures;
     std::size_t j = i + 1;
     while (j < close) {
       if (is(j, "&")) {  // by-reference (default or named): fine
@@ -846,17 +893,24 @@ class Scanner {
         const std::string_view name = toks_[j].text;
         const int line = toks_[j].line;
         if (is(j + 1, "=")) {
-          // init-capture `x = expr`: flag when expr names a Shared local
+          // init-capture `x = expr`: flag when expr names a tracked local
           std::size_t k = j + 2;
           while (k < close && !is(k, ",")) {
-            if (is_ident(k) && shared_local_visible(toks_[k].text) && !is(k - 1, "&")) {
-              value_captures.emplace_back(toks_[k].text, toks_[k].line);
+            if (is_ident(k) && !is(k - 1, "&")) {
+              if (shared_local_visible(toks_[k].text)) {
+                value_captures.emplace_back(toks_[k].text, toks_[k].line);
+              } else if (tx_body && collection_local_visible(toks_[k].text)) {
+                stale_captures.emplace_back(toks_[k].text, toks_[k].line);
+              }
             }
             ++k;
           }
           j = k;
         } else if (shared_local_visible(name)) {
           value_captures.emplace_back(name, line);
+          ++j;
+        } else if (tx_body && collection_local_visible(name)) {
+          stale_captures.emplace_back(name, line);
           ++j;
         } else {
           ++j;
@@ -871,22 +925,39 @@ class Scanner {
            "Shared<T> object '" + std::string(name) +
                "' captured by value in a lambda — capture by reference instead");
     }
+    for (const auto& [name, line] : stale_captures) {
+      emit(kHandlerClosure, line,
+           "transaction body captures collection snapshot '" + std::string(name) +
+               "' by value — the read is outside the transaction's read set; "
+               "re-read it inside the body (or capture by reference)");
+    }
 
     if (default_copy) {
-      // `[=]`: flag only if the body actually uses a visible Shared local.
+      // `[=]`: flag only if the body actually uses a tracked local.
       std::size_t b = close + 1;
       if (is(b, "(")) b = match(b) + 1;
       while (b < toks_.size() && !is(b, "{") && !is(b, ";")) ++b;
       if (!is(b, "{")) return;
       const std::size_t bend = match(b);
+      bool shared_hit = false, stale_hit = false;
       for (std::size_t k = b + 1; k < bend && k < toks_.size(); ++k) {
-        if (is_ident(k) && shared_local_visible(toks_[k].text) &&
-            !(k > 0 && (toks_[k - 1].text == "." || toks_[k - 1].text == "->"))) {
+        if (!is_ident(k) ||
+            (k > 0 && (toks_[k - 1].text == "." || toks_[k - 1].text == "->"))) {
+          continue;
+        }
+        if (!shared_hit && shared_local_visible(toks_[k].text)) {
+          shared_hit = true;
           emit(kSharedCapture, toks_[i].line,
                "default by-value capture [=] copies Shared<T> object '" +
                    std::string(toks_[k].text) + "' — capture by reference instead");
-          return;
+        } else if (!stale_hit && tx_body && collection_local_visible(toks_[k].text)) {
+          stale_hit = true;
+          emit(kHandlerClosure, toks_[i].line,
+               "default by-value capture [=] copies collection snapshot '" +
+                   std::string(toks_[k].text) +
+                   "' into a transaction body — re-read it inside the body");
         }
+        if (shared_hit && (stale_hit || !tx_body)) return;
       }
     }
   }
