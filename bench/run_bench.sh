@@ -5,11 +5,11 @@
 #   BENCH_op_overhead.json  - google-benchmark JSON for tbl_op_overhead
 #   BENCH_hotpath.json      - wall-clock TM hot-path throughput (normalized
 #                             by a host calibration loop; see hotpath.cpp)
-#   BENCH_figs.json         - per-figure wall-clock of the five figure
+#   BENCH_figs.json         - per-figure wall-clock of the six figure
 #                             sweeps + the ablation tables, each run through
 #                             the host-parallel driver with --jobs $JOBS
 #
-# The figure CSVs (fig1..fig5_*.csv) are regenerated in place; the driver
+# The figure CSVs (fig1..fig6_*.csv) are regenerated in place; the driver
 # guarantees they are byte-identical for any JOBS value, so a non-empty
 # `git diff *.csv` after this script means simulated timing really changed.
 #
@@ -50,6 +50,7 @@ run_fig fig2_testsortedmap "$BUILD_DIR/bench/fig2_testsortedmap"
 run_fig fig3_testcompound "$BUILD_DIR/bench/fig3_testcompound"
 run_fig fig4_specjbb      "$BUILD_DIR/bench/fig4_specjbb"
 run_fig fig5_srv          "$BUILD_DIR/bench/fig5_srv"
+run_fig fig6_chop         "$BUILD_DIR/bench/fig6_chop"
 run_fig ablations         "$BUILD_DIR/bench/ablations"
 
 {

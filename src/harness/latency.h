@@ -53,10 +53,15 @@ class LatencyHistogram {
     for (int i = 0; i < kBuckets; ++i) {
       cum += counts_[i];
       if (counts_[i] != 0 && static_cast<double>(cum) >= target) {
-        // The top occupied bucket's lower bound may undershoot the true
-        // maximum; the exact max is tracked, so report it instead.
-        return cum == total_ && i == top_bucket() ? std::min(max_, upper_bound(i))
-                                                  : lower_bound(i);
+        // When the quantile selects the final recorded sample (target past
+        // total-1), the top bucket's lower bound may undershoot the true
+        // maximum; the exact max is tracked, so report it instead.  For any
+        // earlier rank the lower bound is the only value that keeps the
+        // one-sided "at most 12.5% below" contract — the bucket's upper
+        // bound (or max_) can sit above the true quantile.
+        const bool selects_last = cum == total_ && i == top_bucket() &&
+                                  target > static_cast<double>(total_) - 1.0;
+        return selects_last ? std::min(max_, upper_bound(i)) : lower_bound(i);
       }
     }
     return max_;

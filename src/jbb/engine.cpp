@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "tm/chop.h"
+
 namespace jbb {
 namespace {
 
@@ -29,7 +31,7 @@ class Guard {
 std::unique_ptr<jstd::SortedMap<long, Order*>> make_order_table(Flavor f) {
   auto inner = std::make_unique<jstd::TreeMap<long, Order*>>(
       std::less<long>(), "orderTable.size", "orderTable.root");
-  if (f == Flavor::kAtomosTransactional) {
+  if (f == Flavor::kAtomosTransactional || f == Flavor::kAtomosChopped) {
     return std::make_unique<tcc::TransactionalSortedMap<long, Order*>>(
         std::move(inner), tcc::Detection::kOptimistic, std::less<long>(),
         "orderTable");
@@ -40,7 +42,7 @@ std::unique_ptr<jstd::SortedMap<long, Order*>> make_order_table(Flavor f) {
 std::unique_ptr<jstd::SortedMap<long, long>> make_new_order_table(Flavor f) {
   auto inner = std::make_unique<jstd::TreeMap<long, long>>(
       std::less<long>(), "newOrderTable.size", "newOrderTable.root");
-  if (f == Flavor::kAtomosTransactional) {
+  if (f == Flavor::kAtomosTransactional || f == Flavor::kAtomosChopped) {
     return std::make_unique<tcc::TransactionalSortedMap<long, long>>(
         std::move(inner), tcc::Detection::kOptimistic, std::less<long>(),
         "newOrderTable");
@@ -51,7 +53,7 @@ std::unique_ptr<jstd::SortedMap<long, long>> make_new_order_table(Flavor f) {
 std::unique_ptr<jstd::Map<long, History*>> make_history_table(Flavor f) {
   auto inner = std::make_unique<jstd::HashMap<long, History*>>(
       4096, 0.75F, "historyTable.size", "historyTable.table");
-  if (f == Flavor::kAtomosTransactional) {
+  if (f == Flavor::kAtomosTransactional || f == Flavor::kAtomosChopped) {
     return std::make_unique<tcc::TransactionalMap<long, History*>>(
         std::move(inner), tcc::Detection::kOptimistic, "historyTable");
   }
@@ -123,6 +125,58 @@ void Engine::new_order(int dnum, std::uint64_t& rng) {
     picks.emplace_back(static_cast<long>(rnd(rng) % items_.size()),
                        1 + static_cast<long>(rnd(rng) % 5));
   }
+  if (cfg_.flavor == Flavor::kAtomosChopped && atomos::Runtime::active()) {
+    // Chopped: the district phase and the stock walk commit as separate
+    // rank-ordered pieces (tm/chop.h), so a concurrent operation that
+    // conflicts only with the stock walk no longer violates the district
+    // work (and vice versa).  The district piece registers a compensation
+    // that removes the order again; kRanked never runs it, but the contract
+    // (and the txlint chop-compensation rule) wants mutating non-final
+    // pieces to be undoable.
+    Customer* cust = d.customers[cidx].get();
+    long oid = 0;
+    long total = 0;
+    long prev_last = 0;
+    atomos::chopped()
+        .piece("district",
+               [&] {
+                 wh_->txn_count.add(1);
+                 std::vector<OrderLine> lines;
+                 total = 0;
+                 lines.reserve(picks.size());
+                 for (const auto& [item, qty] : picks) {
+                   const long amount = qty * items_[static_cast<std::size_t>(item)].price;
+                   lines.push_back(OrderLine{item, qty, amount});
+                   total += amount;
+                 }
+                 oid = d.next_order.next();
+                 Order* o = atomos::tx_new<Order>(oid, cust->id, std::move(lines));
+                 think(cfg_.think_cycles);
+                 d.order_table->put(oid, o);
+                 d.new_order_table->put(oid, oid);
+                 prev_last = cust->last_order.get();
+                 cust->last_order.set(oid);
+                 d.ytd.add(total);
+               },
+               /*compensate=*/
+               [&] {
+                 d.new_order_table->remove(oid);
+                 d.order_table->remove(oid);
+                 cust->last_order.set(prev_last);
+                 d.ytd.add(-total);
+               })
+        .piece("stock",
+               [&] {
+                 for (const auto& [item, qty] : picks) {
+                   Stock& st = *wh_->stock[static_cast<std::size_t>(item)];
+                   st.quantity.set(st.quantity.get() - qty);
+                   st.ytd.set(st.ytd.get() + qty);
+                 }
+                 think(cfg_.think_cycles);
+               })
+        .run();
+    return;
+  }
   in_txn_or_plain([&] {
     wh_->txn_count.add(1);  // SPECjbb per-warehouse transaction statistic
     Customer* cust = d.customers[cidx].get();
@@ -160,6 +214,37 @@ void Engine::payment(int dnum, std::uint64_t& rng) {
   District& d = district(dnum);
   const auto cidx = rnd(rng) % d.customers.size();
   const long amount = 100 + static_cast<long>(rnd(rng) % 5000);
+  if (cfg_.flavor == Flavor::kAtomosChopped && atomos::Runtime::active()) {
+    // Chopped: the warehouse-wide section (audit record + warehouse YTD)
+    // and the district section commit separately — Payments against
+    // different districts only ever contend for one short warehouse piece.
+    Customer* cust = d.customers[cidx].get();
+    long hid = 0;
+    atomos::chopped()
+        .piece("warehouse",
+               [&] {
+                 wh_->txn_count.add(1);
+                 wh_->ytd.add(amount);
+                 hid = wh_->next_history.next();
+                 History* h = atomos::tx_new<History>(History{cust->id, d.id, amount});
+                 wh_->history_table->put(hid, h);
+               },
+               /*compensate=*/
+               [&] {
+                 wh_->history_table->remove(hid);
+                 wh_->ytd.add(-amount);
+               })
+        .piece("district",
+               [&] {
+                 think(cfg_.think_cycles);
+                 d.ytd.add(amount);
+                 cust->balance.set(cust->balance.get() - amount);
+                 cust->ytd_payment.set(cust->ytd_payment.get() + amount);
+                 think(cfg_.think_cycles);
+               })
+        .run();
+    return;
+  }
   in_txn_or_plain([&] {
     wh_->txn_count.add(1);
     Customer* cust = d.customers[cidx].get();

@@ -13,7 +13,14 @@
 //                          become open-nested UID generators;
 //   kAtomosTransactional — + historyTable wrapped in TransactionalMap and
 //                          orderTable/newOrderTable in
-//                          TransactionalSortedMap.
+//                          TransactionalSortedMap;
+//   kAtomosChopped       — + NewOrder and Payment run as tm::chopped()
+//                          pieces (tm/chop.h): the district phase and the
+//                          stock walk (NewOrder), the warehouse section and
+//                          the district section (Payment) each commit as
+//                          their own rank-ordered transaction, shrinking
+//                          the conflict window below the open-nested
+//                          flavour's whole-operation footprint (fig6).
 #pragma once
 
 #include <cstdint>
@@ -33,7 +40,20 @@
 
 namespace jbb {
 
-enum class Flavor { kJava, kAtomosBaseline, kAtomosOpen, kAtomosTransactional };
+enum class Flavor {
+  kJava,
+  kAtomosBaseline,
+  kAtomosOpen,
+  kAtomosTransactional,
+  kAtomosChopped,
+};
+
+/// The open-nested flavours share counter/collection plumbing; kAtomosChopped
+/// is kAtomosTransactional plus chopping in the operation bodies.
+inline bool uses_open_nesting(Flavor f) {
+  return f == Flavor::kAtomosOpen || f == Flavor::kAtomosTransactional ||
+         f == Flavor::kAtomosChopped;
+}
 
 struct JbbConfig {
   Flavor flavor = Flavor::kAtomosTransactional;
@@ -74,6 +94,7 @@ class Sequence {
       }
       case Flavor::kAtomosOpen:
       case Flavor::kAtomosTransactional:
+      case Flavor::kAtomosChopped:
         return uid_.next();  // open-nested: no parent dependency
     }
     throw std::logic_error("unreachable");
@@ -93,6 +114,7 @@ class Sequence {
         return plain_.get();
       case Flavor::kAtomosOpen:
       case Flavor::kAtomosTransactional:
+      case Flavor::kAtomosChopped:
         // Documented stale read: callers accept an unsynchronized bound, so
         // no semantic lock (and no read-set entry) is taken on purpose.
         // txlint: allow(raw-peek) - deliberate lock-free stale bound
@@ -103,9 +125,7 @@ class Sequence {
 
   /// Committed value of the counter (reporting only).
   long unsafe_peek() const {
-    return (flavor_ == Flavor::kAtomosOpen || flavor_ == Flavor::kAtomosTransactional)
-               ? uid_.unsafe_peek_next()
-               : plain_.unsafe_peek();
+    return uses_open_nesting(flavor_) ? uid_.unsafe_peek_next() : plain_.unsafe_peek();
   }
 
  private:
@@ -136,15 +156,14 @@ class Accumulator {
         return;
       case Flavor::kAtomosOpen:
       case Flavor::kAtomosTransactional:
+      case Flavor::kAtomosChopped:
         cc_.add(delta);  // open-nested, abort-compensated: exact totals
         return;
     }
   }
 
   long unsafe_peek() const {
-    return (flavor_ == Flavor::kAtomosOpen || flavor_ == Flavor::kAtomosTransactional)
-               ? cc_.unsafe_peek()
-               : plain_.unsafe_peek();
+    return uses_open_nesting(flavor_) ? cc_.unsafe_peek() : plain_.unsafe_peek();
   }
 
  private:

@@ -12,27 +12,35 @@
 #include "jstd/treemap.h"
 #include "mc/mutants.h"
 #include "mc/recorded.h"
+#include "tm/chop.h"
 #include "tm/sem_events.h"
 #include "tm/shared.h"
 
 namespace mc {
 namespace {
 
-/// Runs `body` as one top-level transaction with the oracle's lifecycle
-/// handlers registered FIRST: the commit flush stamps before any collection
+/// Registers the oracle's lifecycle handlers on the CURRENT top-level
+/// transaction, FIRST: the commit flush stamps before any collection
 /// handler applies its buffers (and needs no token — read-only transactions
 /// stay token-free), while the abort flush, running LAST in the reverse
-/// abort order, stamps after every compensation has run.
+/// abort order, stamps after every compensation has run.  Chop piece bodies
+/// call this directly (Chop::run owns the atomically() wrapper).
+void mc_attach(Oracle& o) {
+  auto& rt = atomos::Runtime::current();
+  const atomos::TxnId id = rt.self_id();
+  o.attempt_begin(id.cpu, id);
+  Oracle* op = &o;
+  const int cpu = id.cpu;
+  rt.on_top_commit([op, cpu] { op->flush_commit(cpu); }, [] { return false; });
+  rt.on_top_abort([op, cpu] { op->flush_abort(cpu); });
+}
+
+/// Runs `body` as one top-level transaction under the oracle.
 template <class F>
 void mc_txn(Oracle& o, F&& body) {
   auto& rt = atomos::Runtime::current();
   rt.atomically([&] {
-    const atomos::TxnId id = rt.self_id();
-    o.attempt_begin(id.cpu, id);
-    Oracle* op = &o;
-    const int cpu = id.cpu;
-    rt.on_top_commit([op, cpu] { op->flush_commit(cpu); }, [] { return false; });
-    rt.on_top_abort([op, cpu] { op->flush_abort(cpu); });
+    mc_attach(o);
     body();
   });
 }
@@ -442,6 +450,90 @@ std::unique_ptr<World> build_srv_handler(Oracle& o) {
   return w;
 }
 
+std::unique_ptr<World> build_chop_transfer(Oracle& o) {
+  // The srv handler shape as a tm::chopped() transaction: the take and the
+  // session deposit commit as separate rank-ordered pieces.  Within the take
+  // piece TransactionalQueue's eager open-nested remove must put the element
+  // back if the piece aborts (try_dequeue abort put-back), so in EVERY
+  // schedule the two requests are consumed exactly once and the FIFO bag is
+  // conserved: the session ends at 10 + 501 + 502 with the queue drained.
+  auto w = with_map(o, plain_map(), {{1, 10}});
+  add_queue(*w, o, plain_queue(), {501, 502});
+  World* wp = w.get();
+  Oracle* op = &o;
+  auto worker = [op, wp] {
+    std::optional<long> req;
+    atomos::chopped()
+        .piece("take",
+               [&] {
+                 mc_attach(*op);
+                 req = wp->rqueue->take();
+                 atomos::work(140);
+               },
+               /*compensate=*/
+               [&] {
+                 if (req.has_value()) wp->rqueue->put(*req);
+               })
+        .piece("apply",
+               [&] {
+                 mc_attach(*op);
+                 if (req.has_value()) {
+                   const long bal = wp->rmap->get(1).value_or(0);
+                   wp->rmap->put(1, bal + *req);
+                 }
+               })
+        .run();
+  };
+  w->bodies = {worker, worker};
+  return w;
+}
+
+std::unique_ptr<World> build_mut_chop_lossy_dequeue(Oracle& o) {
+  // The chopped handler over a LossyQueue: a memory conflict (the cell)
+  // aborts the take piece mid-flight, and the mutant's broken abort
+  // compensation drops the eagerly-removed request instead of putting it
+  // back — the retry dequeues the NEXT request and the first one vanishes,
+  // which the oracle reports as a compensation inversion.
+  auto w = with_map(o, plain_map(), {});
+  add_queue(*w, o,
+            std::make_unique<LossyQueue>(
+                std::make_unique<jstd::LinkedQueue<long>>()),
+            {601, 602});
+  w->cell.emplace(0L);
+  World* wp = w.get();
+  Oracle* op = &o;
+  w->bodies = {
+      [op, wp] {
+        std::optional<long> req;
+        atomos::chopped()
+            .piece("take",
+                   [&] {
+                     mc_attach(*op);
+                     req = wp->rqueue->poll();
+                     (void)wp->cell->get();  // cpu1's commit aborts this piece
+                     atomos::work(250);
+                   },
+                   /*compensate=*/
+                   [&] {
+                     if (req.has_value()) wp->rqueue->put(*req);
+                   })
+            .piece("apply",
+                   [&] {
+                     mc_attach(*op);
+                     if (req.has_value()) wp->rmap->put(*req, 1);
+                   })
+            .run();
+      },
+      [op, wp] {
+        mc_txn(*op, [&] {
+          atomos::work(60);
+          wp->cell->set(9);
+        });
+      },
+  };
+  return w;
+}
+
 std::unique_ptr<World> build_mut_srv_lost_update(Oracle& o) {
   // The same handler shape over a map whose put skips the key read-lock:
   // two concurrent handlers read the same balance and one deposit is lost.
@@ -563,6 +655,8 @@ const std::vector<Entry>& registry() {
           build_map_conflict);
     clean("srv_handler", "server handlers: take a request, session RMW",
           build_srv_handler);
+    clean("chop_transfer", "chopped handler: take piece + deposit piece",
+          build_chop_transfer);
     mutant("mut_lost_lock", "get() without the key lock",
            Anomaly::kLostSemanticLock, build_mut_lost_lock);
     mutant("mut_open_leak", "open-nested eager put leaks pre-commit state",
@@ -579,6 +673,8 @@ const std::vector<Entry>& registry() {
            Anomaly::kLostUpdate, build_mut_srv_lost_update);
     mutant("mut_srv_lossy_handler", "aborted handler loses its taken request",
            Anomaly::kCompensationInversion, build_mut_srv_lossy_handler);
+    mutant("mut_chop_lossy_dequeue", "aborted chop take piece drops its request",
+           Anomaly::kCompensationInversion, build_mut_chop_lossy_dequeue);
     return e;
   }();
   return entries;

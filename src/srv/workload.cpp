@@ -14,6 +14,7 @@
 #include "sim/engine.h"
 #include "sim/stats.h"
 #include "srv/exp_table.h"
+#include "tm/chop.h"
 #include "tm/mutex.h"
 #include "tm/runtime.h"
 
@@ -112,6 +113,7 @@ const char* flavor_name(Flavor f) {
   switch (f) {
     case Flavor::kLock: return "Lock";
     case Flavor::kFlatTm: return "Flat TM";
+    case Flavor::kChoppedTm: return "Chopped";
     default: return "Semantic";
   }
 }
@@ -344,16 +346,47 @@ void run_server(Flavor f, const SrvConfig& cfg, int cpus, std::uint64_t salt,
         const int cpu = eng.cpu_id();
         std::uint64_t backoff = kBackoffMin;
         while (completed < total) {
-          const bool got = atomos::atomically([&] {
-            // take() observes no emptiness and no ordering (Table 7), so
-            // worker dequeues commute with puts and with each other.
-            auto idx = queue.take();
-            if (!idx.has_value()) return false;
-            const Request& r = reqs[static_cast<std::size_t>(*idx)];
-            handle_request(r, sessions, cache, cfg.cache_slots, bump);
-            atomos::on_commit([&finish, cpu, arr = r.arrival] { finish(cpu, arr); });
-            return true;
-          });
+          bool got = false;
+          if (f == Flavor::kChoppedTm) {
+            // Chopped handler: the dequeue and the handler body commit as
+            // separate rank-ordered pieces, so a session/cache conflict in
+            // the body never forces the dequeue to replay, and the body's
+            // conflict window excludes the queue traffic entirely.  The
+            // take piece's compensation re-enqueues the request (the
+            // abort-path mirror of TransactionalQueue's own put-back).
+            std::optional<long> idx;
+            atomos::chopped()
+                .piece("take",
+                       [&] {
+                         // take() observes no emptiness/ordering (Table 7).
+                         idx = queue.take();
+                       },
+                       /*compensate=*/
+                       [&] {
+                         if (idx.has_value()) queue.put(*idx);
+                       })
+                .piece("handle",
+                       [&] {
+                         if (!idx.has_value()) return;
+                         const Request& r = reqs[static_cast<std::size_t>(*idx)];
+                         handle_request(r, sessions, cache, cfg.cache_slots, bump);
+                         atomos::on_commit(
+                             [&finish, cpu, arr = r.arrival] { finish(cpu, arr); });
+                       })
+                .run();
+            got = idx.has_value();
+          } else {
+            got = atomos::atomically([&] {
+              // take() observes no emptiness and no ordering (Table 7), so
+              // worker dequeues commute with puts and with each other.
+              auto idx = queue.take();
+              if (!idx.has_value()) return false;
+              const Request& r = reqs[static_cast<std::size_t>(*idx)];
+              handle_request(r, sessions, cache, cfg.cache_slots, bump);
+              atomos::on_commit([&finish, cpu, arr = r.arrival] { finish(cpu, arr); });
+              return true;
+            });
+          }
           if (got) {
             backoff = kBackoffMin;
           } else {
@@ -364,6 +397,8 @@ void run_server(Flavor f, const SrvConfig& cfg, int cpus, std::uint64_t salt,
       });
     }
     eng.run();
+    rep.chop_pieces = rt.chop_stats().pieces;
+    rep.chop_dep_breaks = rt.chop_stats().dep_breaks;
     // txlint: begin-allow(raw-peek) - post-run audit: the engine has halted,
     // every transaction has committed, so committed values are the truth.
     fin.hits = hits.unsafe_peek();

@@ -58,6 +58,9 @@ enum class Flavor {
   kLock,        ///< coarse lock-based handler loop
   kFlatTm,      ///< flat closed-nested transactions over plain collections
   kSemanticTm,  ///< open-nested / semantic transactional collections
+  kChoppedTm,   ///< semantic collections + tm::chopped() handler pieces:
+                ///< dequeue and handler body commit as separate rank-ordered
+                ///< transactions, shrinking the conflict window per piece
 };
 
 const char* flavor_name(Flavor f);
@@ -101,6 +104,10 @@ struct SrvReport {
   long updates = 0;
   long transfers = 0;
   long expected_revenue = 0;
+  // Chopping attribution (kChoppedTm only; zero otherwise): committed
+  // pieces and forward-dependency break events from Runtime::chop_stats().
+  std::uint64_t chop_pieces = 0;
+  std::uint64_t chop_dep_breaks = 0;
 };
 
 /// The deterministic request schedule for one sweep point.  Depends on

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cstdio>
+#include <exception>
 
 #include "tm/audit.h"
 
@@ -19,6 +20,7 @@ Runtime::Runtime(sim::Engine& eng, std::unique_ptr<ContentionManager> cm)
   if (tls_runtime_ != nullptr)
     throw std::logic_error("atomos::Runtime: another runtime is already active on this thread");
   tls_runtime_ = this;
+  active_chops_.assign(static_cast<std::size_t>(eng.config().num_cpus), nullptr);
   // Consume a pending thread-local trace request (set by the harness driver
   // before it invokes a series body, or directly by tests/benches).  Enable
   // profiling too: the labelled Shared cells are constructed after the
@@ -383,6 +385,7 @@ void Runtime::broadcast_and_apply(Txn& t) {
   for (const sim::LineAddr line : scratch_lines_) {
     eng_.memsys().invalidate_copies(t.cpu, line);
     flag_readers(line, t.cpu);
+    if (active_chop_count_ != 0) flag_chops(line, t.cpu);
   }
   // Value apply stays in log (program) order: entries are unique per
   // address, so only the line walk above needed sorting.
@@ -472,6 +475,11 @@ void Runtime::commit_txn(Txn* t) {
     }
   }
 
+  // A chop piece's footprint joins the chop's forward-dependency lines
+  // before anything else can run on this CPU (we are past the last possible
+  // unwind; the broadcast, if any, is done).
+  if (active_chop_count_ != 0) chop_note_committed_piece(*t);
+
   if (!t->open) {
     eng_.stats().cpu(t->cpu).commits++;
   }
@@ -533,34 +541,12 @@ void Runtime::abort_txn(Txn* t) {
   c.cur = t->parent;
   for (auto& h : t->top_abort_handlers) t->abort_handlers.push_back(std::move(h));
   if (!t->abort_handlers.empty()) {
-    if (tracer_ != nullptr)
-      tracer_->on_handler_run(t->cpu, eng_.now(), /*abort_path=*/true,
-                              t->abort_handlers.size());
-    Txn* saved = c.cur;
-    c.cur = nullptr;
-    const bool saved_flag = c.in_abort_handlers;
-    c.in_abort_handlers = true;
-    // Scope the compensation run for the auditor: a collection compensation
-    // that executes twice for the same aborted incarnation (e.g. a handler
-    // registered twice) is detectable only within this bracket, because the
-    // handler itself resets its collection-local state on first run.
-    audit::abort_scope_begin(TxnId{t->cpu, t->incarnation});
-    try {
-      for (std::size_t i = t->abort_handlers.size(); i > 0; --i) {
-        auto h = std::move(t->abort_handlers[i - 1]);
-        run_txn(t->cpu, /*open=*/true, [&h] { h(); });
-        audit::compensation_handler_committed(t->cpu);
-      }
-    } catch (...) {
-      audit::abort_scope_end(t->cpu);
-      c.in_abort_handlers = saved_flag;
-      c.cur = saved;
+    std::exception_ptr first_failure = run_compensation_handlers(
+        t->cpu, TxnId{t->cpu, t->incarnation}, t->abort_handlers);
+    if (first_failure) {
       release_txn(t);
-      throw;
+      std::rethrow_exception(first_failure);
     }
-    audit::abort_scope_end(t->cpu);
-    c.in_abort_handlers = saved_flag;
-    c.cur = saved;
   }
 
   if (t->parent == nullptr) {
@@ -573,6 +559,85 @@ void Runtime::abort_txn(Txn* t) {
                                 cm_->backoff_cycles(t->cpu, t->attempt);
   release_txn(t);
   eng_.tick(penalty);
+}
+
+std::exception_ptr Runtime::run_compensation_handlers(
+    int cpu, const TxnId& scope, std::vector<std::function<void()>>& handlers) {
+  CpuCtx& c = ctx(cpu);
+  if (tracer_ != nullptr)
+    tracer_->on_handler_run(cpu, eng_.now(), /*abort_path=*/true, handlers.size());
+  // Handlers run as *detached* open transactions: the current stack (a
+  // doomed transaction being unwound, or a chop between pieces) must not be
+  // able to re-kill or capture them.
+  Txn* saved = c.cur;
+  c.cur = nullptr;
+  const bool saved_flag = c.in_abort_handlers;
+  c.in_abort_handlers = true;
+  // Scope the compensation run for the auditor: a collection compensation
+  // that executes twice for the same aborted incarnation (e.g. a handler
+  // registered twice) is detectable only within this bracket, because the
+  // handler itself resets its collection-local state on first run.
+  audit::abort_scope_begin(scope);
+  // A compensation that unwinds (a user exception escaping its detached
+  // open transaction) must not drop its *siblings*: each registered
+  // compensation undoes an independent committed effect, so the rest still
+  // have to run or their semantic locks and eager mutations leak.  Run
+  // every handler newest-first, remember the first escape for the caller.
+  std::exception_ptr first_failure;
+  for (std::size_t i = handlers.size(); i > 0; --i) {
+    auto h = std::move(handlers[i - 1]);
+    try {
+      run_txn(cpu, /*open=*/true, [&h] { h(); });
+      audit::compensation_handler_committed(cpu);
+    } catch (...) {  // txlint: allow(catch-swallow) rethrown by the caller
+      if (!first_failure) first_failure = std::current_exception();
+    }
+  }
+  audit::abort_scope_end(cpu);
+  c.in_abort_handlers = saved_flag;
+  c.cur = saved;
+  return first_failure;
+}
+
+// ---- chopping (tm/chop.h) ----
+
+void Runtime::chop_begin(int cpu, detail::ChopState* s) {
+  assert(active_chops_[static_cast<std::size_t>(cpu)] == nullptr);
+  active_chops_[static_cast<std::size_t>(cpu)] = s;
+  ++active_chop_count_;
+}
+
+void Runtime::chop_end(int cpu) {
+  assert(active_chops_[static_cast<std::size_t>(cpu)] != nullptr);
+  active_chops_[static_cast<std::size_t>(cpu)] = nullptr;
+  --active_chop_count_;
+}
+
+void Runtime::flag_chops(sim::LineAddr line, int committer) {
+  for (std::size_t c = 0; c < active_chops_.size(); ++c) {
+    detail::ChopState* s = active_chops_[c];
+    if (s == nullptr || static_cast<int>(c) == committer) continue;
+    if (s->dep_lines.find(line) != nullptr) {
+      s->broken = true;
+      ++s->breaks;
+      if (tracer_ != nullptr)
+        tracer_->on_violation_flag(committer, eng_.now(), line, static_cast<int>(c));
+    }
+  }
+}
+
+void Runtime::chop_note_committed_piece(Txn& t) {
+  detail::ChopState* s = active_chops_[static_cast<std::size_t>(t.cpu)];
+  if (s == nullptr || t.parent != nullptr || t.open) return;
+  // Live read lines are the surviving prev<0 read_log entries (same idiom
+  // as release_txn); write lines may repeat per entry, try_emplace dedups.
+  for (const auto& [line, prev] : t.read_log) {
+    if (prev < 0) s->dep_lines.try_emplace(line, 1);
+  }
+  for (const auto& w : t.writes) {
+    s->dep_lines.try_emplace(sim::line_of(w.addr), 1);
+  }
+  ++chop_stats_.pieces;
 }
 
 void Runtime::notify_txn_sets(Txn* t, bool committed) {
@@ -660,6 +725,7 @@ void Runtime::tm_write(std::uintptr_t addr, const void* in, std::uint32_t size,
     const sim::LineAddr line = sim::line_of(addr);
     eng_.memsys().invalidate_copies(cpu, line);
     flag_readers(line, cpu);
+    if (active_chop_count_ != 0) flag_chops(line, cpu);
     return;
   }
   std::uint64_t val = 0;

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -193,7 +194,29 @@ struct Txn {
   }
 };
 
+/// Book-keeping for one in-flight *chop* (tm/chop.h): a long transaction
+/// declared as rank-ordered pieces, each committing as its own top-level
+/// transaction.  Between pieces the chop holds no speculative state — only
+/// this record of the cache lines its already-committed pieces read or
+/// wrote.  A concurrent commit that touches one of those lines *breaks the
+/// forward dependency*: the next piece would read state inconsistent with
+/// what the earlier pieces observed.  The runtime flags it here; the Chop
+/// driver decides at the next piece boundary (count it under kRanked,
+/// compensate-and-restart under kValidated).
+struct ChopState {
+  sim::FlatMap<sim::LineAddr, std::int32_t> dep_lines;  // committed pieces' footprint
+  bool broken = false;       // a foreign commit hit a dep line
+  std::uint64_t breaks = 0;  // break events observed by this chop
+
+  void reset() {
+    dep_lines.clear();
+    broken = false;
+  }
+};
+
 }  // namespace detail
+
+class Chop;  // tm/chop.h: rank-ordered piece builder over this runtime
 
 /// Per-simulation TM runtime.  Construct one around an Engine before
 /// spawning workers; workers then use the free functions at the bottom of
@@ -346,7 +369,19 @@ class Runtime {
     if (mode() == sim::Mode::kTcc && ctx(eng_.cpu_id()).cur != nullptr) check_kill(eng_.cpu_id());
   }
 
+  /// Aggregate chopping counters (tm/chop.h), for figure extras and tests.
+  /// Purely observational — never feeds back into simulated timing.
+  struct ChopStats {
+    std::uint64_t chops = 0;           ///< completed Chop::run calls
+    std::uint64_t pieces = 0;          ///< pieces committed (incl. re-runs)
+    std::uint64_t dep_breaks = 0;      ///< forward-dependency break events
+    std::uint64_t restarts = 0;        ///< kValidated compensate-and-restart rounds
+    std::uint64_t compensations = 0;   ///< committed-piece compensations run
+  };
+  const ChopStats& chop_stats() const { return chop_stats_; }
+
  private:
+  friend class Chop;  // piece execution + compensation entry points below
   struct CpuCtx {
     detail::Txn* cur = nullptr;  // innermost txn (open-nesting stack tip)
     std::uint64_t next_incarnation = 1;  // outlives pooled Txns: ids stay unique
@@ -383,6 +418,29 @@ class Runtime {
   void flush_violation_counters();  // viol_counts_ -> stats() "violations@"
   void broadcast_and_apply(detail::Txn& t);
   void collect_garbage();
+
+  // ---- chopping support (tm/chop.h drives these through friendship) ----
+  /// Registers `s` as the chop in flight on `cpu`; commits by other CPUs
+  /// start probing its dep_lines.  One chop per CPU at a time.
+  void chop_begin(int cpu, detail::ChopState* s);
+  void chop_end(int cpu);
+  /// Marks foreign chops whose dep_lines contain `line` as broken.  Called
+  /// under the commit broadcast and the naked-store path; a single counter
+  /// test keeps it off every hot path while no chop is active.
+  void flag_chops(sim::LineAddr line, int committer);
+  /// Folds a just-committed piece's read/write lines into its chop's
+  /// forward-dependency footprint (called from commit_txn, still inside the
+  /// commit's token scope so no foreign commit can slip in unprobed).
+  void chop_note_committed_piece(detail::Txn& t);
+  /// Runs `handlers` newest-first as detached open transactions inside one
+  /// TXCC_CHECKED abort/compensation scope — the shared machinery behind
+  /// both abort compensation (abort_txn) and chop compensate-and-restart
+  /// (Chop::run).  A handler that unwinds does not drop its siblings; the
+  /// first escaped exception is returned for the caller to rethrow.
+  std::exception_ptr run_compensation_handlers(int cpu, const TxnId& scope,
+                                               std::vector<std::function<void()>>& handlers);
+  /// A fresh incarnation id for a non-Txn audit scope (chop restarts).
+  TxnId make_scope_id(int cpu) { return TxnId{cpu, ctx(cpu).next_incarnation++}; }
 
   template <class F>
   auto run_txn(int cpu, bool open, F&& fn) {
@@ -465,6 +523,12 @@ class Runtime {
   // materializes them as stats() "violations@<label>" entries at teardown,
   // keeping std::string construction out of the violation hot path.
   std::vector<std::uint64_t> viol_counts_;
+
+  // Active chops, one slot per CPU (null = none).  The count gates the
+  // broadcast-side probing so non-chopped workloads never pay for it.
+  std::vector<detail::ChopState*> active_chops_;
+  int active_chop_count_ = 0;
+  ChopStats chop_stats_;
 
   // txmc observer (null outside model-checking runs).
   McObserver* mc_observer_ = nullptr;

@@ -72,13 +72,15 @@ TEST_P(JbbFlavorTest, ConsistentUnderContention) {
 INSTANTIATE_TEST_SUITE_P(AllFlavors, JbbFlavorTest,
                          ::testing::Values(Flavor::kJava, Flavor::kAtomosBaseline,
                                            Flavor::kAtomosOpen,
-                                           Flavor::kAtomosTransactional),
+                                           Flavor::kAtomosTransactional,
+                                           Flavor::kAtomosChopped),
                          [](const ::testing::TestParamInfo<Flavor>& info) {
                            switch (info.param) {
                              case Flavor::kJava: return "Java";
                              case Flavor::kAtomosBaseline: return "AtomosBaseline";
                              case Flavor::kAtomosOpen: return "AtomosOpen";
                              case Flavor::kAtomosTransactional: return "AtomosTransactional";
+                             case Flavor::kAtomosChopped: return "AtomosChopped";
                            }
                            return "Unknown";
                          });

@@ -33,6 +33,14 @@ TEST(LitmusTest, CorpusShape) {
   EXPECT_GE(classes.size(), 5u);
   EXPECT_EQ(find_program("map_rmw")->name, "map_rmw");
   EXPECT_EQ(find_program("no_such_program"), nullptr);
+  // The chopping pair: a clean chopped handler and its lossy-dequeue mutant.
+  const Program* clean_chop = find_program("chop_transfer");
+  ASSERT_NE(clean_chop, nullptr);
+  EXPECT_FALSE(clean_chop->mutant);
+  const Program* mut_chop = find_program("mut_chop_lossy_dequeue");
+  ASSERT_NE(mut_chop, nullptr);
+  EXPECT_TRUE(mut_chop->mutant);
+  EXPECT_EQ(*mut_chop->expected, Anomaly::kCompensationInversion);
 }
 
 TEST(LitmusTest, CleanProgramsHaveNoViolations) {

@@ -103,10 +103,56 @@ TEST(LatencyHistogram, QuantilesOfUniformRampAreOrdered) {
   // And each sits within the 12.5% undershoot bound of the true quantile.
   EXPECT_GE(8 * p50, 7 * 50000u);
   EXPECT_LE(p50, 50000u);
-  // p99's target lands in the top occupied bucket, where the histogram
-  // reports the exact tracked maximum rather than a bucket bound.
   EXPECT_GE(8 * p99, 7 * 99000u);
   EXPECT_LE(p99, 99999u);
+}
+
+TEST(LatencyHistogram, SingleBucketMassDoesNotOvershootMidQuantiles) {
+  // 100 samples all landing in one coarse bucket: p50 must not be reported
+  // as the tracked maximum (the old top-bucket shortcut overshot by up to
+  // 12.5% above the true quantile, breaking the one-sided contract).
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(1000);  // one bucket, max_ == 1000
+  EXPECT_EQ(h.quantile(0.5), LatencyHistogram::lower_bound(
+                                 LatencyHistogram::index(1000)));
+  const std::uint64_t p50 = h.quantile(0.5);
+  EXPECT_LE(p50, 1000u);
+  EXPECT_GE(8 * p50, 7 * 1000u);
+  // The final rank still reports the exact maximum.
+  EXPECT_EQ(h.quantile(1.0), 1000u);
+}
+
+TEST(LatencyHistogram, SingleSampleQuantilesAreExact) {
+  LatencyHistogram h;
+  h.record(4097);
+  // Every rank selects the only sample, so the exact max is reported —
+  // never an over- or undershooting bucket bound.
+  for (double q : {0.001, 0.5, 0.99, 0.999, 1.0})
+    EXPECT_EQ(h.quantile(q), 4097u) << "q=" << q;
+  // q == 0 may fall back to the bucket lower bound, but stays in-bound.
+  EXPECT_LE(h.quantile(0.0), 4097u);
+  EXPECT_GE(8 * h.quantile(0.0), 7 * 4097u);
+}
+
+TEST(LatencyHistogram, DisjointRangeMergeKeepsQuantileBound) {
+  // fig5's per-CPU shards can have wholly disjoint sojourn ranges (an idle
+  // worker vs a saturated one); merging them must keep every quantile within
+  // the one-sided 12.5% bound of the true pooled quantile.
+  LatencyHistogram low, high;
+  for (int i = 0; i < 90; ++i) low.record(10);        // exact linear bucket
+  for (int i = 0; i < 10; ++i) high.record(1000000);  // four decades away
+  LatencyHistogram merged = low;
+  merged += high;
+  ASSERT_EQ(merged.count(), 100u);
+  // True p50 = 10 (rank 50 of 100).  The old shortcut never fired here, but
+  // pin it: no overshoot into the distant top bucket.
+  EXPECT_EQ(merged.quantile(0.5), 10u);
+  // True p99 = 1000000 (rank 99): must be within 12.5% below, never above.
+  const std::uint64_t p99 = merged.quantile(0.99);
+  EXPECT_LE(p99, 1000000u);
+  EXPECT_GE(8 * p99, 7 * 1000000u);
+  // p999 selects the final sample -> exact max.
+  EXPECT_EQ(merged.quantile(0.999), 1000000u);
 }
 
 }  // namespace

@@ -56,7 +56,8 @@ TEST(SrvWorkload, AllFlavorsPassTheConsistencyAudit) {
   // run_server throws on any conservation failure — exact-once completion,
   // hits+misses == lookups, revenue reconciliation, drained queue.
   for (srv::Flavor f :
-       {srv::Flavor::kLock, srv::Flavor::kFlatTm, srv::Flavor::kSemanticTm}) {
+       {srv::Flavor::kLock, srv::Flavor::kFlatTm, srv::Flavor::kSemanticTm,
+        srv::Flavor::kChoppedTm}) {
     srv::SrvConfig cfg;
     cfg.requests = 300;
     cfg.load = 0.9;
@@ -65,6 +66,13 @@ TEST(SrvWorkload, AllFlavorsPassTheConsistencyAudit) {
     EXPECT_EQ(rep.completed, 300u) << srv::flavor_name(f);
     EXPECT_EQ(rep.sojourn.count(), 300u) << srv::flavor_name(f);
     EXPECT_GT(rep.last_commit, 0u) << srv::flavor_name(f);
+    if (f == srv::Flavor::kChoppedTm) {
+      // Every handled request commits at least a take piece and a handle
+      // piece; empty polls add more take pieces.
+      EXPECT_GE(rep.chop_pieces, 2 * rep.completed) << srv::flavor_name(f);
+    } else {
+      EXPECT_EQ(rep.chop_pieces, 0u) << srv::flavor_name(f);
+    }
   }
 }
 

@@ -215,6 +215,46 @@ TEST_F(CheckedRuntimeTest, ReportsCompensationRunTwiceInOneAbort) {
   EXPECT_NE(audit::reports().back().find("compensation"), std::string::npos);
 }
 
+// A compensation that unwinds (a user exception escaping its detached open
+// transaction) must not drop its siblings: every other registered
+// compensation still has to run, or its eager open-nested effect leaks.
+// Handlers run newest-first, so the first-run handler throwing used to
+// abandon both earlier-registered siblings.
+TEST_F(CheckedRuntimeTest, ThrowingCompensationDoesNotDropSiblings) {
+  sim::Engine eng(tcc_cfg(1));
+  Runtime rt(eng);
+  int site_a, site_b, site_c;
+  bool ran_a = false, ran_b = false;
+  bool saw_failure = false;
+  eng.spawn([&] {
+    try {
+      atomically([&] {
+        Runtime::current().on_top_abort([&] {
+          audit::compensation_run(0, &site_a);
+          ran_a = true;
+        });
+        Runtime::current().on_top_abort([&] {
+          audit::compensation_run(0, &site_b);
+          ran_b = true;
+        });
+        Runtime::current().on_top_abort([&] {
+          audit::compensation_run(0, &site_c);
+          throw std::logic_error("compensation failed");  // runs first
+        });
+        throw std::runtime_error("force abort");
+      });
+    } catch (const std::logic_error&) {
+      saw_failure = true;  // the failure still surfaces to the caller
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(ran_a) << "first-registered sibling compensation was dropped";
+  EXPECT_TRUE(ran_b) << "second-registered sibling compensation was dropped";
+  EXPECT_TRUE(saw_failure);
+  // Each sibling ran exactly once within the abort scope.
+  EXPECT_EQ(audit::count(audit::Check::kDoubleCompensation), 0u);
+}
+
 // Distinct sites in one abort — and the same site across DIFFERENT aborts
 // (a retried transaction re-registers each attempt) — are both legal.
 TEST_F(CheckedRuntimeTest, DistinctAndReattemptedCompensationsAreLegal) {

@@ -1,0 +1,230 @@
+// Transaction chopping (tm/chop.h): piece execution, forward-dependency
+// tracking, compensation-and-restart, and the degraded in-transaction /
+// lock-mode paths.
+#include "tm/chop.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "tm/runtime.h"
+#include "tm/shared.h"
+
+namespace atomos {
+namespace {
+
+sim::Config cfg(int cpus, sim::Mode mode = sim::Mode::kTcc) {
+  sim::Config c;
+  c.num_cpus = cpus;
+  c.mode = mode;
+  return c;
+}
+
+TEST(Chop, RunsPiecesInRankOrderAndCommitsEach) {
+  sim::Engine eng(cfg(1));
+  Runtime rt(eng);
+  Shared<int> a(0), b(0);
+  std::vector<int> order;
+  eng.spawn([&] {
+    chopped()
+        .piece("first",
+               [&] {
+                 order.push_back(1);
+                 a.set(a.get() + 1);
+               })
+        .piece("second",
+               [&] {
+                 order.push_back(2);
+                 b.set(a.get() + 10);  // reads the first piece's commit
+               })
+        .run();
+  });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(a.unsafe_peek(), 1);
+  EXPECT_EQ(b.unsafe_peek(), 11);
+  // Each piece committed as its own top-level transaction.
+  EXPECT_EQ(eng.stats().total(&sim::CpuStats::commits), 2u);
+  EXPECT_EQ(rt.chop_stats().chops, 1u);
+  EXPECT_EQ(rt.chop_stats().pieces, 2u);
+  EXPECT_EQ(rt.chop_stats().dep_breaks, 0u);
+  EXPECT_EQ(rt.chop_stats().restarts, 0u);
+}
+
+TEST(Chop, ExplicitRanksMustIncrease) {
+  Chop c;
+  c.piece(10, "a", [] {});
+  EXPECT_THROW(c.piece(10, "b", [] {}), std::logic_error);
+  EXPECT_THROW(c.piece(3, "c", [] {}), std::logic_error);
+  c.piece(20, "d", [] {});  // strictly increasing: fine
+}
+
+// A foreign commit touching an earlier piece's footprint between pieces is
+// a forward-dependency break.  Under kRanked it is counted and the chop
+// completes; the final state reflects the interleaving.
+TEST(Chop, RankedPolicyCountsForwardDependencyBreaks) {
+  sim::Engine eng(cfg(2));
+  Runtime rt(eng);
+  Shared<long> x(0);   // read by piece 0, written by the intruder
+  Shared<long> y(-1);  // written by piece 1
+  eng.spawn([&] {
+    chopped(ChopPolicy::kRanked)
+        .piece("read-x",
+               [&] {
+                 (void)x.get();
+                 work(50);
+               })
+        .piece("gap", [&] { work(3000); })  // intruder commits in here
+        .piece("write-y", [&] { y.set(x.get()); })
+        .run();
+  });
+  eng.spawn([&] {
+    Runtime::current().work(500);
+    atomically([&] { x.set(7); });  // lands between chop pieces
+  });
+  eng.run();
+  EXPECT_EQ(rt.chop_stats().chops, 1u);
+  EXPECT_GE(rt.chop_stats().dep_breaks, 1u);
+  EXPECT_EQ(rt.chop_stats().restarts, 0u);
+  EXPECT_EQ(y.unsafe_peek(), 7);  // ranked chop read the intruder's commit
+}
+
+// Under kValidated the same interleaving compensates the committed prefix
+// (in reverse) and restarts the chop from its first piece.
+TEST(Chop, ValidatedPolicyCompensatesAndRestarts) {
+  sim::Engine eng(cfg(2));
+  Runtime rt(eng);
+  Shared<long> x(0);
+  Shared<long> ledger(0);  // piece 0 "charges" 5; compensation refunds it
+  std::vector<std::string> events;
+  eng.spawn([&] {
+    chopped(ChopPolicy::kValidated)
+        .piece("charge",
+               [&] {
+                 (void)x.get();
+                 ledger.set(ledger.get() + 5);
+                 events.push_back("charge");
+               },
+               /*compensate=*/
+               [&] {
+                 ledger.set(ledger.get() - 5);
+                 events.push_back("refund");
+               })
+        .piece("gap", [&] { work(3000); })
+        .piece("finish", [&] { events.push_back("finish"); })
+        .run();
+  });
+  eng.spawn([&] {
+    Runtime::current().work(500);
+    atomically([&] { x.set(7); });
+  });
+  eng.run();
+  EXPECT_EQ(rt.chop_stats().restarts, 1u);
+  EXPECT_EQ(rt.chop_stats().compensations, 1u);
+  EXPECT_GE(rt.chop_stats().dep_breaks, 1u);
+  EXPECT_EQ(rt.chop_stats().chops, 1u);
+  // charge -> refund (compensated restart) -> charge -> finish.
+  ASSERT_GE(events.size(), 4u);
+  EXPECT_EQ(events[0], "charge");
+  EXPECT_EQ(events[1], "refund");
+  EXPECT_EQ(events.back(), "finish");
+  EXPECT_EQ(ledger.unsafe_peek(), 5);  // exactly one net charge survived
+}
+
+// A piece body throwing undoes the committed prefix before propagating:
+// the chop is all-or-nothing at the semantic level.
+TEST(Chop, ThrowingPieceCompensatesCommittedPrefix) {
+  sim::Engine eng(cfg(1));
+  Runtime rt(eng);
+  Shared<long> ledger(0);
+  bool compensated = false, threw = false;
+  eng.spawn([&] {
+    try {
+      chopped()
+          .piece("charge", [&] { ledger.set(ledger.get() + 5); },
+                 /*compensate=*/
+                 [&] {
+                   ledger.set(ledger.get() - 5);
+                   compensated = true;
+                 })
+          .piece("boom", [&] { throw std::runtime_error("piece failed"); })
+          .run();
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(threw);
+  EXPECT_TRUE(compensated);
+  EXPECT_EQ(ledger.unsafe_peek(), 0);
+  EXPECT_EQ(rt.chop_stats().chops, 0u);  // never completed
+  EXPECT_EQ(rt.chop_stats().compensations, 1u);
+}
+
+// Inside an enclosing transaction a chop degrades to closed-nested frames:
+// nothing commits early, so an enclosing abort rolls everything back and
+// compensations never run.
+TEST(Chop, DegradesToFramesInsideEnclosingTransaction) {
+  sim::Engine eng(cfg(1));
+  Runtime rt(eng);
+  Shared<long> v(0);
+  bool compensated = false;
+  eng.spawn([&] {
+    try {
+      atomically([&] {
+        chopped()
+            .piece("inner", [&] { v.set(41); },
+                   [&] { compensated = true; })
+            .piece("inner2", [&] { v.set(v.get() + 1); })
+            .run();
+        throw std::runtime_error("abort enclosing");
+      });
+    } catch (const std::runtime_error&) {
+    }
+  });
+  eng.run();
+  EXPECT_EQ(v.unsafe_peek(), 0);  // enclosing rollback covered the pieces
+  EXPECT_FALSE(compensated);
+  EXPECT_EQ(rt.chop_stats().pieces, 0u);  // no top-level piece commits
+}
+
+// Lock mode: plain calls, no transactions, still correct.
+TEST(Chop, LockModeRunsPlainly) {
+  sim::Engine eng(cfg(1, sim::Mode::kLock));
+  Runtime rt(eng);
+  Shared<long> v(0);
+  eng.spawn([&] {
+    chopped().piece("a", [&] { v.set(1); }).piece("b", [&] { v.set(v.get() + 1); }).run();
+  });
+  eng.run();
+  EXPECT_EQ(v.unsafe_peek(), 2);
+}
+
+// The broadcast probe must not flag the chop's own CPU (its own pieces and
+// compensations commit there), and an unrelated commit must not break it.
+TEST(Chop, UnrelatedCommitsDoNotBreakTheChop) {
+  sim::Engine eng(cfg(2));
+  Runtime rt(eng);
+  Shared<long> mine(0);
+  Shared<long> pad[16]{};  // keep `other` off the chop's cache line
+  Shared<long> other(0);
+  (void)pad;
+  eng.spawn([&] {
+    chopped()
+        .piece("p0", [&] { mine.set(mine.get() + 1); })
+        .piece("gap", [&] { work(2000); })
+        .piece("p1", [&] { mine.set(mine.get() + 1); })
+        .run();
+  });
+  eng.spawn([&] {
+    Runtime::current().work(300);
+    atomically([&] { other.set(9); });  // disjoint footprint
+  });
+  eng.run();
+  EXPECT_EQ(rt.chop_stats().dep_breaks, 0u);
+  EXPECT_EQ(mine.unsafe_peek(), 2);
+}
+
+}  // namespace
+}  // namespace atomos

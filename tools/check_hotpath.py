@@ -33,10 +33,38 @@ import math
 import sys
 
 
+def die(msg):
+    print(f"check_hotpath: ERROR: {msg}")
+    sys.exit(2)
+
+
 def load(path):
+    """Parse a BENCH_hotpath.json document, failing loudly (clear message,
+    nonzero exit) on a malformed or poisoned file instead of a KeyError.
+
+    A record is *poisoned* when the bench marked it so explicitly
+    ("poisoned": true) or when its sim_cycles is absent/null — a point the
+    sweep could not complete.  A poisoned point can never pass the gate, so
+    it is rejected here, before any comparison silently skips it.
+    """
     with open(path) as f:
         doc = json.load(f)
-    return {r["name"]: r for r in doc["results"]}
+    results = doc.get("results")
+    if not isinstance(results, list):
+        die(f"{path}: no 'results' array (malformed bench JSON)")
+    out = {}
+    for i, r in enumerate(results):
+        name = r.get("name") if isinstance(r, dict) else None
+        if not name:
+            die(f"{path}: results[{i}] has no 'name' (malformed bench JSON)")
+        if r.get("poisoned") or r.get("sim_cycles") is None:
+            die(f"{path}: scenario '{name}' is POISONED "
+                "(no completed run / no sim_cycles) — the gate cannot pass "
+                "a poisoned point; re-run the bench")
+        if name in out:
+            die(f"{path}: duplicate scenario '{name}'")
+        out[name] = r
+    return out
 
 
 def delta_table(base, cur):
@@ -76,6 +104,15 @@ def main():
     cur = load(args.current)
     failed = False
     off_ratios = []
+
+    # A scenario present in the current run but absent from the baseline is
+    # an un-gated point: the committed baseline key is missing and nothing
+    # below would compare it.  That must fail loudly, not be silently
+    # skipped — the fix is to regenerate/commit the baseline JSON.
+    for name in sorted(set(cur) - set(base)):
+        print(f"FAIL {name}: baseline scenario key missing from "
+              f"{args.baseline} (commit an updated baseline)")
+        failed = True
 
     if args.cycles_only:
         for name, b in sorted(base.items()):

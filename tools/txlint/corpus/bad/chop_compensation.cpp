@@ -1,0 +1,26 @@
+// BAD: a non-final chop piece mutates a collection with no compensation.
+// Each piece of a tm::chopped() chain commits as its own top-level
+// transaction, so its effects are durable before the chop finishes.  If a
+// later piece throws (or a kValidated chop restarts), the runtime unwinds
+// by running the registered compensations of the committed prefix — a
+// piece without one leaves its mutation stranded.
+#include "tm/chop.h"
+
+namespace demo {
+
+struct Bag {
+  void put(long k, long v);
+  void remove(long k);
+};
+
+void uncompensated_piece(Bag* bag, long k, long v) {
+  atomos::chopped()
+      .piece("insert",
+             [bag, k, v] {
+               bag->put(k, v);  // BAD: durable after piece commit, no undo
+             })
+      .piece("settle", [bag, k] { bag->remove(k); })
+      .run();
+}
+
+}  // namespace demo
